@@ -1,0 +1,73 @@
+// Shared workload construction for the bench binaries.
+//
+// Every bench accepts the same flags so experiments are reproducible and
+// scalable: --coflows, --ports, --seed, --perturb, and (where meaningful)
+// --bandwidth_gbps / --delta_ms. The default workload matches §5.1: a
+// 526-coflow, 150-port one-hour trace with ±5% flow-size perturbation
+// floored at 1 MB. Pass --trace=<file> to use a real coflow-benchmark file
+// (e.g. FB2010-1Hr-150-0.txt) instead of the synthetic trace.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "trace/coflow.h"
+#include "trace/generator.h"
+#include "trace/parser.h"
+
+namespace sunflow::bench {
+
+struct Workload {
+  Trace trace;
+  std::string description;
+};
+
+inline Workload LoadWorkload(CliFlags& flags) {
+  const std::string path = flags.GetString(
+      "trace", "", "coflow-benchmark trace file (empty = synthetic)");
+  const auto coflows =
+      flags.GetInt("coflows", 526, "synthetic trace: number of coflows");
+  const auto ports = flags.GetInt("ports", 150, "synthetic trace: fabric ports");
+  const auto seed = flags.GetInt("seed", 20161212, "synthetic trace seed");
+  const double perturb =
+      flags.GetDouble("perturb", 0.05, "flow-size perturbation fraction");
+
+  Workload w;
+  if (!path.empty()) {
+    w.trace = ParseCoflowBenchmarkFile(path);
+    w.description = "trace file " + path;
+  } else {
+    SyntheticTraceConfig cfg;
+    cfg.num_coflows = static_cast<int>(coflows);
+    cfg.num_ports = static_cast<PortId>(ports);
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    w.trace = GenerateSyntheticTrace(cfg);
+    w.description = "synthetic FB-like trace (" + std::to_string(coflows) +
+                    " coflows, " + std::to_string(ports) + " ports, seed " +
+                    std::to_string(seed) + ")";
+  }
+  if (perturb > 0) {
+    w.trace = PerturbFlowSizes(w.trace, perturb, MB(1),
+                               static_cast<std::uint64_t>(seed) + 1);
+    w.description += ", ±" + std::to_string(static_cast<int>(perturb * 100)) +
+                     "% perturbation";
+  }
+  return w;
+}
+
+/// Standard preamble: handles --help, prints the workload banner.
+inline bool HandleHelp(CliFlags& flags, const std::string& what) {
+  if (flags.help_requested()) {
+    flags.PrintHelp(what);
+    return true;
+  }
+  return false;
+}
+
+inline void Banner(const std::string& title, const Workload& w) {
+  std::printf("### %s\n### workload: %s\n\n", title.c_str(),
+              w.description.c_str());
+}
+
+}  // namespace sunflow::bench

@@ -1,0 +1,52 @@
+// §5.3.1 "Sensitivity to reservation ordering": OrderedPort (default) vs
+// Random vs SortedDemand, per-coflow normalized to OrderedPort.
+//
+// Paper: Random is 0.94x (1.01x p95) of OrderedPort; SortedDemand 0.95x
+// (1.01x) — i.e. Sunflow is insensitive to the reservation ordering.
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "exp/intra_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace sunflow;
+  using namespace sunflow::exp;
+  CliFlags flags(argc, argv);
+  bench::Workload w = bench::LoadWorkload(flags);
+  if (bench::HandleHelp(flags, "Reservation-ordering sensitivity")) return 0;
+  bench::Banner("§5.3.1 — sensitivity to reservation ordering", w);
+
+  IntraRunConfig base_cfg;
+  base_cfg.order = ReservationOrder::kOrderedPort;
+  const auto base = RunIntra(w.trace, IntraAlgorithm::kSunflow, base_cfg);
+  std::map<CoflowId, double> base_cct;
+  for (const auto& rec : base.records) base_cct[rec.id] = rec.cct;
+
+  TextTable table("Sunflow CCT normalized to OrderedPort");
+  table.SetHeader({"ordering", "average", "p95", "max"});
+  table.AddRow({"OrderedPort", "1.00", "1.00", "1.00"});
+  for (auto order :
+       {ReservationOrder::kRandom, ReservationOrder::kSortedDemandDesc,
+        ReservationOrder::kSortedDemandAsc}) {
+    IntraRunConfig cfg;
+    cfg.order = order;
+    cfg.shuffle_seed = 7;
+    const auto run = RunIntra(w.trace, IntraAlgorithm::kSunflow, cfg);
+    std::vector<double> normalized;
+    for (const auto& rec : run.records) {
+      const double b = base_cct.at(rec.id);
+      if (b > 0) normalized.push_back(rec.cct / b);
+    }
+    table.AddRow({ToString(order), TextTable::Fmt(stats::Mean(normalized), 3),
+                  TextTable::Fmt(stats::Percentile(normalized, 95), 3),
+                  TextTable::Fmt(stats::Max(normalized), 3)});
+  }
+  table.AddFootnote(
+      "paper: Random 0.94 avg / 1.01 p95; SortedDemand 0.95 / 1.01 — "
+      "insensitive");
+  table.Print(std::cout);
+  return 0;
+}

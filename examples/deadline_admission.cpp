@@ -1,0 +1,78 @@
+// Deadline-aware admission control (§1's "individual Coflow's performance
+// requirement" + the Varys-style admit-or-reject contract).
+//
+// A stream of coflows with deadlines arrives at a busy switch. Each is
+// admitted only if Sunflow can still meet its deadline at the lowest
+// priority — admitted coflows are never disturbed by later admissions, so
+// an admitted deadline is a kept deadline.
+//
+//   ./deadline_admission [--coflows=40] [--deadline_slack=2.0]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "core/admission.h"
+#include "trace/bounds.h"
+
+using namespace sunflow;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const int n = static_cast<int>(flags.GetInt("coflows", 40, "arrivals"));
+  const double slack = flags.GetDouble(
+      "deadline_slack", 2.0, "deadline = slack x ideal CCT");
+  if (flags.help_requested()) {
+    flags.PrintHelp("Deadline admission on the Sunflow PRT");
+    return 0;
+  }
+
+  const PortId kPorts = 8;
+  SunflowConfig config;  // 1 Gbps, δ = 10 ms
+  SunflowPlanner planner(kPorts, config);
+  SunflowSchedule out;
+
+  Rng rng(2016);
+  int admitted = 0, rejected = 0, kept = 0;
+  Time t = 0;
+  for (int k = 0; k < n; ++k) {
+    t += rng.Exponential(0.3);
+    std::vector<Flow> flows;
+    const int nf = 1 + static_cast<int>(rng.UniformInt(0, 3));
+    for (int f = 0; f < nf; ++f) {
+      const PortId s = static_cast<PortId>(rng.UniformInt(0, kPorts - 1));
+      const PortId d = static_cast<PortId>(rng.UniformInt(0, kPorts - 1));
+      bool dup = false;
+      for (const auto& existing : flows)
+        if (existing.src == s && existing.dst == d) dup = true;
+      if (!dup) flows.push_back({s, d, MB(rng.Uniform(5, 120))});
+    }
+    const Coflow coflow(k + 1, t, std::move(flows));
+    const Time ideal =
+        CircuitLowerBound(coflow, config.bandwidth, config.delta);
+    const Time deadline = slack * ideal;
+
+    const auto result = TryAdmitWithDeadline(
+        planner, PlanRequest::FromCoflow(coflow, config.bandwidth), deadline,
+        out);
+    if (result.admitted) {
+      ++admitted;
+      if (out.completion_time.at(coflow.id()) <= deadline + kTimeEps) ++kept;
+      std::printf("t=%6.2f  coflow %2d  ADMIT  (cct %.2fs <= deadline "
+                  "%.2fs)\n",
+                  t, k + 1, result.planned_cct, deadline);
+    } else {
+      ++rejected;
+      std::printf("t=%6.2f  coflow %2d  reject (best offer %.2fs > deadline "
+                  "%.2fs)\n",
+                  t, k + 1, result.planned_cct, deadline);
+    }
+  }
+
+  std::printf("\nadmitted %d / rejected %d; every admitted deadline kept: "
+              "%s\n",
+              admitted, rejected, kept == admitted ? "yes" : "NO (bug!)");
+  std::printf("Sunflow's non-preemptive PRT makes the admission contract "
+              "trivial to honour:\nadmitted reservations are physically "
+              "immutable (§4.1).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Multi-stage job scheduling on the optical circuit switch (§4.2, third
+// usage scenario).
+//
+// A three-stage analytics job (ingest shuffle -> aggregate -> publish)
+// shares the fabric with an unrelated ad-hoc query. With plain
+// shortest-coflow-first the ad-hoc query preempts job stages and can
+// straggle the job; with the earlier-stage-first policy the job's critical
+// path is protected.
+//
+//   ./multistage_job [--delta_ms=10]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "core/policy.h"
+#include "sim/dag_replay.h"
+
+using namespace sunflow;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const double delta_ms = flags.GetDouble("delta_ms", 10, "reconfig delay");
+  if (flags.help_requested()) {
+    flags.PrintHelp("Multi-stage job DAG on the circuit switch");
+    return 0;
+  }
+
+  // Ports 0-3: mappers; 4-5: aggregators; 6: publisher; 7: ad-hoc user.
+  Trace trace;
+  trace.num_ports = 8;
+  // Stage 0 — ingest shuffle: 4 mappers x 2 aggregators.
+  {
+    std::vector<Flow> flows;
+    for (PortId m = 0; m < 4; ++m)
+      for (PortId a = 4; a <= 5; ++a)
+        flows.push_back({m, a, MB(60 + 10 * m)});
+    trace.coflows.push_back(Coflow(1, 0.0, std::move(flows)));
+  }
+  // Stage 1 — aggregate: both aggregators into the publisher.
+  trace.coflows.push_back(
+      Coflow(2, 0.0, {{4, 6, MB(120)}, {5, 6, MB(140)}}));
+  // Stage 2 — publish results back to the mappers.
+  trace.coflows.push_back(
+      Coflow(3, 0.0, {{6, 0, MB(30)}, {6, 1, MB(30)}, {6, 2, MB(30)}}));
+  // Unrelated ad-hoc query arriving mid-job; it writes into the publisher
+  // machine (out-port 6) exactly when stage 1 needs that port, and it is
+  // smaller than stage 1's remaining demand, so SCF prefers it.
+  trace.coflows.push_back(Coflow(10, 2.0, {{7, 6, MB(100)}}));
+
+  CoflowDag dag;
+  dag.AddDependency(2, 1);
+  dag.AddDependency(3, 2);
+
+  CircuitReplayConfig config;
+  config.sunflow.delta = Millis(delta_ms);
+
+  std::printf("3-stage job (coflows 1 -> 2 -> 3) + ad-hoc query (coflow "
+              "10) on shared ports\n\n");
+
+  auto report = [&](const char* name, const PriorityPolicy& policy) {
+    const auto result = ReplayDagTrace(trace, dag, policy, config);
+    std::printf("%-24s job done at %.3f s (stages: %.3f / %.3f / %.3f), "
+                "ad-hoc CCT %.3f s\n",
+                name, result.completion.at(3), result.completion.at(1),
+                result.completion.at(2), result.completion.at(3),
+                result.cct.at(10));
+  };
+
+  // The ad-hoc query is not part of the job: rank it behind every stage.
+  auto stages = dag.StageOf(trace);
+  stages[10] = 99;
+  auto stage_policy = MakeStagePolicy(stages);
+  auto scf = MakeShortestFirstPolicy();
+  report("earlier-stage-first:", *stage_policy);
+  report("shortest-coflow-first:", *scf);
+
+  std::printf("\nUnder SCF the smaller ad-hoc query takes the publisher port first and\n"
+              "the job stages straggle; earlier-stage-first protects the job's\n"
+              "critical path at the cost of the ad-hoc query (§4.2).\n");
+  return 0;
+}

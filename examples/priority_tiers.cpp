@@ -1,0 +1,88 @@
+// Inter-Coflow policy playground: privileged vs regular tenants, and the
+// starvation-avoidance guard of §4.2.
+//
+// A privileged tenant submits a continuous stream of coflows that saturate
+// a port; a regular tenant submits one coflow on the same port. Under the
+// pure class policy the regular coflow starves behind the stream; with the
+// Φ / (T+τ) guard it receives service within every N(T+τ) window and
+// completes.
+//
+//   ./priority_tiers [--attackers=40] [--T=1.0] [--tau=0.1]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/policy.h"
+#include "core/starvation.h"
+#include "sim/circuit_replay.h"
+#include "sim/starvation_replay.h"
+
+using namespace sunflow;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const int attackers = static_cast<int>(flags.GetInt("attackers", 40, ""));
+  const double big_t = flags.GetDouble("T", 1.0, "priority interval");
+  const double tau = flags.GetDouble("tau", 0.1, "fixed-assignment interval");
+  if (flags.help_requested()) {
+    flags.PrintHelp("Priority tiers + starvation guard demo");
+    return 0;
+  }
+
+  // Privileged stream: 440 ms of demand every 400 ms on ports (0 -> 1):
+  // the port never drains. One regular coflow wants the same ports.
+  Trace trace;
+  trace.num_ports = 3;
+  for (int k = 0; k < attackers; ++k)
+    trace.coflows.push_back(Coflow(k + 1, 0.4 * k, {{0, 1, MB(55)}}));
+  const CoflowId regular_id = 1000;
+  trace.coflows.push_back(Coflow(regular_id, 0.0, {{0, 1, MB(40)}}));
+  std::sort(trace.coflows.begin(), trace.coflows.end(),
+            [](const Coflow& a, const Coflow& b) {
+              return a.arrival() < b.arrival();
+            });
+
+  const auto policy = MakeClassPolicy({{regular_id, 1}}, /*default=*/0);
+  CircuitReplayConfig config;
+
+  std::printf("privileged stream: %d coflows, 440 ms demand each, every "
+              "400 ms\nregular coflow: 40 MB on the same port pair\n\n",
+              attackers);
+
+  {
+    const auto result = ReplayCircuitTrace(trace, *policy, config);
+    std::printf("WITHOUT guard: regular coflow CCT = %.2f s (finishes only "
+                "after the\n               privileged stream drains — pure "
+                "priority starves it)\n",
+                result.cct.at(regular_id));
+  }
+  {
+    StarvationGuardConfig guard;
+    guard.enabled = true;
+    guard.big_interval = big_t;
+    guard.small_interval = tau;
+    const StarvationGuardTimeline timeline(guard, trace.num_ports);
+    const auto result =
+        ReplayWithStarvationGuard(trace, *policy, config, guard);
+    std::printf("WITH guard (T=%.2fs, tau=%.2fs): regular coflow CCT = "
+                "%.2f s\n",
+                big_t, tau, result.cct.at(regular_id));
+    std::printf("  max service gap: %.2f s (guaranteed <= N(T+tau) = %.2f "
+                "s)\n",
+                result.max_service_gap.at(regular_id),
+                timeline.MaxServiceGap());
+    std::vector<double> privileged_cct;
+    for (const auto& [id, cct] : result.cct)
+      if (id != regular_id) privileged_cct.push_back(cct);
+    double worst = 0;
+    for (double c : privileged_cct) worst = std::max(worst, c);
+    std::printf("  privileged stream worst CCT: %.2f s (guard costs tau "
+                "per period)\n",
+                worst);
+  }
+  std::printf("\nThe guard trades a bounded slice of circuit time (tau per "
+              "T+tau period)\nfor a hard service guarantee — §4.2's design "
+              "point.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Assertion and invariant-checking macros for the sunflow library.
+//
+// SUNFLOW_CHECK is always on (release included): it guards invariants whose
+// violation would silently corrupt a simulation result. SUNFLOW_DCHECK
+// compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sunflow {
+
+/// Thrown when a checked invariant fails. Tests rely on this being an
+/// exception (not abort) so failure paths can be exercised.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void CheckFail(const char* expr, const char* file,
+                                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace sunflow
+
+#define SUNFLOW_CHECK(cond)                                            \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::sunflow::detail::CheckFail(#cond, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define SUNFLOW_CHECK_MSG(cond, msg)                                   \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream sunflow_os_;                                  \
+      sunflow_os_ << msg;                                              \
+      ::sunflow::detail::CheckFail(#cond, __FILE__, __LINE__,          \
+                                   sunflow_os_.str());                 \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define SUNFLOW_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define SUNFLOW_DCHECK(cond) SUNFLOW_CHECK(cond)
+#endif

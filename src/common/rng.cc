@@ -1,0 +1,21 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace sunflow {
+
+std::vector<std::int32_t> Rng::SampleWithoutReplacement(std::int32_t n,
+                                                        std::int32_t k) {
+  SUNFLOW_CHECK(k >= 0 && k <= n);
+  // Partial Fisher–Yates: only the first k slots are needed.
+  std::vector<std::int32_t> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  for (std::int32_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(UniformInt(i, n - 1));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+}  // namespace sunflow

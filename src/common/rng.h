@@ -1,0 +1,129 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the library (trace synthesis, flow-size
+// perturbation, shuffled reservation orderings) takes an explicit Rng so
+// experiments are reproducible from a single seed. The generator is
+// xoshiro256**, seeded via splitmix64 — fast, high quality, and identical
+// across platforms (unlike std::mt19937 distributions, the sampling code
+// below is fully specified here).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace sunflow {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    SUNFLOW_CHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    SUNFLOW_CHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Rejection sampling for an unbiased result.
+    const std::uint64_t limit = span * (UINT64_MAX / span);
+    std::uint64_t v;
+    do {
+      v = NextU64();
+    } while (v >= limit && limit != 0);
+    return lo + static_cast<std::int64_t>(v % span);
+  }
+
+  /// Exponential with the given mean (inverse-CDF method).
+  double Exponential(double mean) {
+    SUNFLOW_CHECK(mean > 0);
+    double u;
+    do {
+      u = NextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed sizes).
+  double Pareto(double xm, double alpha) {
+    SUNFLOW_CHECK(xm > 0 && alpha > 0);
+    double u;
+    do {
+      u = NextDouble();
+    } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Samples an index according to non-negative weights (sum > 0).
+  std::size_t Categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) {
+      SUNFLOW_CHECK(w >= 0);
+      total += w;
+    }
+    SUNFLOW_CHECK(total > 0);
+    double r = NextDouble() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Draws k distinct values from [0, n) in random order.
+  std::vector<std::int32_t> SampleWithoutReplacement(std::int32_t n,
+                                                     std::int32_t k);
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace sunflow

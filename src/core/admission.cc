@@ -1,0 +1,30 @@
+#include "core/admission.h"
+
+#include "common/assert.h"
+
+namespace sunflow {
+
+AdmissionResult TryAdmitWithDeadline(SunflowPlanner& planner,
+                                     const PlanRequest& request,
+                                     Time deadline, SunflowSchedule& out) {
+  SUNFLOW_CHECK(deadline >= 0);
+  AdmissionResult result;
+
+  // Probe on a copy: planning is deterministic, so committing the same
+  // request to the real planner reproduces the probe exactly.
+  SunflowPlanner probe = planner;
+  SunflowSchedule probe_out;
+  const Time finish = probe.ScheduleOne(request, probe_out);
+  result.planned_cct = finish - request.start;
+  if (result.planned_cct > deadline + kTimeEps) {
+    return result;  // rejected; planner untouched
+  }
+
+  const Time committed_finish = planner.ScheduleOne(request, out);
+  SUNFLOW_CHECK_MSG(TimeEq(committed_finish, finish),
+                    "probe and commit disagree — planner not deterministic");
+  result.admitted = true;
+  return result;
+}
+
+}  // namespace sunflow

@@ -1,0 +1,32 @@
+// Deadline-aware admission control on top of the inter-Coflow framework.
+//
+// §1 faults classic circuit schedulers for lacking "the ability to …
+// meet individual Coflow's performance requirement". Sunflow's
+// non-preemptive PRT makes admission control natural (the same mechanism
+// Varys uses on the packet side): plan the candidate *behind* everything
+// already admitted — Sunflow guarantees admitted coflows are untouched —
+// and admit only if the candidate still meets its own deadline. Rejected
+// coflows leave no trace on the table.
+#pragma once
+
+#include "core/sunflow.h"
+
+namespace sunflow {
+
+struct AdmissionResult {
+  bool admitted = false;
+  /// CCT the plan achieves for the candidate (valid whether admitted or
+  /// not; for rejections this is the best Sunflow could have offered at
+  /// the lowest priority).
+  Time planned_cct = 0;
+};
+
+/// Probes the candidate on a copy of the planner state; if its planned CCT
+/// (relative to request.start) is within `deadline`, commits the
+/// reservations to `planner` and records them in `out`. Otherwise the
+/// planner is left untouched.
+AdmissionResult TryAdmitWithDeadline(SunflowPlanner& planner,
+                                     const PlanRequest& request,
+                                     Time deadline, SunflowSchedule& out);
+
+}  // namespace sunflow

@@ -1,0 +1,153 @@
+#include "core/components.h"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace sunflow {
+
+namespace {
+
+// Union-find over a small dense id space.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<PlanRequest> SplitByPortComponents(const PlanRequest& request) {
+  if (request.demand.empty()) return {};
+  // Map ports to union-find ids: inputs then outputs.
+  std::map<PortId, std::size_t> in_id, out_id;
+  for (const FlowDemand& f : request.demand) {
+    in_id.emplace(f.src, 0);
+    out_id.emplace(f.dst, 0);
+  }
+  std::size_t next = 0;
+  for (auto& [port, id] : in_id) id = next++;
+  for (auto& [port, id] : out_id) id = next++;
+
+  UnionFind uf(next);
+  for (const FlowDemand& f : request.demand)
+    uf.Union(in_id[f.src], out_id[f.dst]);
+
+  std::map<std::size_t, PlanRequest> components;
+  for (const FlowDemand& f : request.demand) {
+    const std::size_t root = uf.Find(in_id[f.src]);
+    PlanRequest& part = components[root];
+    part.coflow = request.coflow;
+    part.start = request.start;
+    part.demand.push_back(f);
+  }
+  std::vector<PlanRequest> out;
+  out.reserve(components.size());
+  for (auto& [root, part] : components) out.push_back(std::move(part));
+  return out;
+}
+
+Time ScheduleComponentsParallel(SunflowPlanner& planner,
+                                const PlanRequest& request,
+                                SunflowSchedule& out, int max_threads) {
+  SUNFLOW_CHECK(max_threads > 0);
+  const auto parts = SplitByPortComponents(request);
+  if (parts.empty()) {
+    out.completion_time[request.coflow] = 0;
+    return request.start;
+  }
+
+  struct ComponentPlan {
+    Time finish = 0;
+    SunflowSchedule schedule;
+    std::vector<CircuitReservation> new_reservations;
+  };
+
+  const std::size_t base = planner.prt().reservations().size();
+  auto plan_one = [&](const PlanRequest& part) {
+    // A copy carries every existing reservation, so this component is
+    // constrained exactly as it would be on the shared table; it cannot
+    // see (or collide with) sibling components, which share no ports.
+    SunflowPlanner worker = planner;
+    // Callbacks must not fire from worker threads; the merge below streams
+    // the final reservations through the target planner's callback.
+    worker.SetReservationCallback(nullptr);
+    ComponentPlan result;
+    result.finish = worker.ScheduleOne(part, result.schedule);
+    const auto& all = worker.prt().reservations();
+    result.new_reservations.assign(all.begin() + static_cast<std::ptrdiff_t>(base),
+                                   all.end());
+    return result;
+  };
+
+  // Bounded fan-out: launch up to max_threads components at a time.
+  std::vector<ComponentPlan> plans(parts.size());
+  for (std::size_t i = 0; i < parts.size();
+       i += static_cast<std::size_t>(max_threads)) {
+    std::vector<std::future<ComponentPlan>> batch;
+    const std::size_t end =
+        std::min(parts.size(), i + static_cast<std::size_t>(max_threads));
+    for (std::size_t j = i; j < end; ++j) {
+      batch.push_back(std::async(std::launch::async, plan_one,
+                                 std::cref(parts[j])));
+    }
+    for (std::size_t j = i; j < end; ++j) plans[j] = batch[j - i].get();
+  }
+
+  // Merge: reservations in global start order (streaming guarantee), then
+  // the per-component bookkeeping.
+  std::vector<CircuitReservation> merged;
+  for (const auto& p : plans)
+    merged.insert(merged.end(), p.new_reservations.begin(),
+                  p.new_reservations.end());
+  std::sort(merged.begin(), merged.end(),
+            [](const CircuitReservation& a, const CircuitReservation& b) {
+              return a.start < b.start;
+            });
+  planner.ImportReservations(merged);
+
+  Time finish = request.start;
+  int reservations_made = 0;
+  for (const auto& p : plans) {
+    finish = std::max(finish, p.finish);
+    for (const auto& [key, t] : p.schedule.flow_finish)
+      out.flow_finish[key] = t;
+    auto it = p.schedule.reservation_count.find(request.coflow);
+    if (it != p.schedule.reservation_count.end())
+      reservations_made += it->second;
+  }
+  out.completion_time[request.coflow] = finish - request.start;
+  out.reservation_count[request.coflow] += reservations_made;
+  return finish;
+}
+
+Time SchedulePerComponent(SunflowPlanner& planner, const PlanRequest& request,
+                          SunflowSchedule& out) {
+  const auto parts = SplitByPortComponents(request);
+  Time finish = request.start;
+  // Components touch disjoint ports, so they compose on the PRT without
+  // interaction; per-component completion_time entries would overwrite
+  // each other, so track the true maximum explicitly.
+  for (const PlanRequest& part : parts) {
+    finish = std::max(finish, planner.ScheduleOne(part, out));
+  }
+  out.completion_time[request.coflow] = finish - request.start;
+  return finish;
+}
+
+}  // namespace sunflow

@@ -1,0 +1,40 @@
+// Port-connected-component decomposition of a demand set (§6's
+// parallelization note).
+//
+// §6 suggests reducing scheduler latency "by computing circuit schedules
+// on partitioned demands in parallel" at some cost in optimality. One
+// partitioning is *free*: flows whose port sets are disjoint can never
+// constrain each other on the PRT, so the connected components of the
+// coflow's bipartite port graph can be planned independently (and in
+// parallel) with exactly the same resulting schedule.
+#pragma once
+
+#include <vector>
+
+#include "core/sunflow.h"
+
+namespace sunflow {
+
+/// Splits the request's demand into connected components of the bipartite
+/// (input-port, output-port) graph. The union of the returned requests is
+/// the input; components share no ports.
+std::vector<PlanRequest> SplitByPortComponents(const PlanRequest& request);
+
+/// Plans each component on `planner` (sequentially; components are
+/// independent so any order — or a thread pool — yields the same PRT).
+/// Equivalent to planner.ScheduleOne(request, out) when the PRT has no
+/// prior reservations touching the request's ports.
+Time SchedulePerComponent(SunflowPlanner& planner, const PlanRequest& request,
+                          SunflowSchedule& out);
+
+/// The actually-parallel version (§6): each component is planned with
+/// std::async on a *copy* of the planner's current state (so existing
+/// higher-priority reservations constrain every component identically),
+/// then the new reservations merge back in start-time order. Components
+/// never share ports, so the merge cannot conflict and the resulting PRT
+/// is identical to sequential planning. `max_threads` caps concurrency.
+Time ScheduleComponentsParallel(SunflowPlanner& planner,
+                                const PlanRequest& request,
+                                SunflowSchedule& out, int max_threads = 4);
+
+}  // namespace sunflow

@@ -1,0 +1,127 @@
+#include "core/prt.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace sunflow {
+
+std::string CircuitReservation::DebugString() const {
+  std::ostringstream os;
+  os << "[in." << in << ", out." << out << ") t=[" << start << ", " << end
+     << ") setup=" << setup << " coflow=" << coflow;
+  return os.str();
+}
+
+PortReservationTable::PortReservationTable(PortId num_ports)
+    : num_ports_(num_ports),
+      in_slots_(static_cast<std::size_t>(num_ports)),
+      out_slots_(static_cast<std::size_t>(num_ports)) {
+  SUNFLOW_CHECK(num_ports > 0);
+}
+
+bool PortReservationTable::FreeAt(const std::set<Slot>& slots, Time t) {
+  // Find the last slot with start <= t; the port is busy iff it covers t.
+  auto it = slots.upper_bound(Slot{t, 0, 0});
+  if (it == slots.begin()) return true;
+  --it;
+  return it->end <= t + kTimeEps;
+}
+
+Time PortReservationTable::NextStartAfter(const std::set<Slot>& slots,
+                                          Time t) {
+  auto it = slots.upper_bound(Slot{t, 0, 0});
+  if (it == slots.end()) return kTimeInf;
+  return it->start;
+}
+
+void PortReservationTable::CheckNoOverlap(const std::set<Slot>& slots,
+                                          const Slot& s) {
+  auto it = slots.upper_bound(s);
+  if (it != slots.end()) {
+    SUNFLOW_CHECK_MSG(s.end <= it->start + kTimeEps,
+                      "reservation overlaps successor on port");
+  }
+  if (it != slots.begin()) {
+    --it;
+    SUNFLOW_CHECK_MSG(it->end <= s.start + kTimeEps,
+                      "reservation overlaps predecessor on port");
+  }
+}
+
+bool PortReservationTable::InputFreeAt(PortId i, Time t) const {
+  SUNFLOW_CHECK(i >= 0 && i < num_ports_);
+  return FreeAt(in_slots_[static_cast<std::size_t>(i)], t);
+}
+
+bool PortReservationTable::OutputFreeAt(PortId j, Time t) const {
+  SUNFLOW_CHECK(j >= 0 && j < num_ports_);
+  return FreeAt(out_slots_[static_cast<std::size_t>(j)], t);
+}
+
+Time PortReservationTable::NextReservationStartAfter(PortId in, PortId out,
+                                                     Time t) const {
+  SUNFLOW_CHECK(in >= 0 && in < num_ports_);
+  SUNFLOW_CHECK(out >= 0 && out < num_ports_);
+  return std::min(NextStartAfter(in_slots_[static_cast<std::size_t>(in)], t),
+                  NextStartAfter(out_slots_[static_cast<std::size_t>(out)], t));
+}
+
+void PortReservationTable::Reserve(const CircuitReservation& r) {
+  SUNFLOW_CHECK(r.in >= 0 && r.in < num_ports_);
+  SUNFLOW_CHECK(r.out >= 0 && r.out < num_ports_);
+  SUNFLOW_CHECK_MSG(r.end > r.start + kTimeEps,
+                    "empty reservation " << r.DebugString());
+  SUNFLOW_CHECK_MSG(r.setup >= 0 && r.setup <= r.length() + kTimeEps,
+                    "bad setup in " << r.DebugString());
+  const Slot s{r.start, r.end, all_.size()};
+  CheckNoOverlap(in_slots_[static_cast<std::size_t>(r.in)], s);
+  CheckNoOverlap(out_slots_[static_cast<std::size_t>(r.out)], s);
+  in_slots_[static_cast<std::size_t>(r.in)].insert(s);
+  out_slots_[static_cast<std::size_t>(r.out)].insert(s);
+  release_times_.insert(r.end);
+  all_.push_back(r);
+}
+
+Time PortReservationTable::NextReleaseAfter(Time t) const {
+  auto it = release_times_.upper_bound(t + kTimeEps);
+  if (it == release_times_.end()) return kTimeInf;
+  return *it;
+}
+
+std::vector<CircuitReservation> PortReservationTable::InputPortTimeline(
+    PortId i) const {
+  SUNFLOW_CHECK(i >= 0 && i < num_ports_);
+  std::vector<CircuitReservation> out;
+  for (const Slot& s : in_slots_[static_cast<std::size_t>(i)])
+    out.push_back(all_[s.index]);
+  return out;
+}
+
+std::vector<CircuitReservation> PortReservationTable::OutputPortTimeline(
+    PortId j) const {
+  SUNFLOW_CHECK(j >= 0 && j < num_ports_);
+  std::vector<CircuitReservation> out;
+  for (const Slot& s : out_slots_[static_cast<std::size_t>(j)])
+    out.push_back(all_[s.index]);
+  return out;
+}
+
+void PortReservationTable::CheckInvariants() const {
+  auto check_side = [&](const std::vector<std::set<Slot>>& sides) {
+    for (const auto& slots : sides) {
+      Time prev_end = -kTimeInf;
+      for (const Slot& s : slots) {
+        SUNFLOW_CHECK_MSG(s.start >= prev_end - kTimeEps,
+                          "overlapping reservations on a port");
+        SUNFLOW_CHECK(s.end > s.start);
+        prev_end = s.end;
+      }
+    }
+  };
+  check_side(in_slots_);
+  check_side(out_slots_);
+}
+
+}  // namespace sunflow

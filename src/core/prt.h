@@ -1,0 +1,76 @@
+// Port Reservation Table (§4.1.1).
+//
+// The PRT records, for every input and output port, when the port is taken
+// and released and by which circuit. Sunflow schedules by making
+// reservations that always respect the port constraint (an optical port
+// carries at most one circuit at a time), so existing reservations are
+// never preempted — the data structure *is* the non-preemption guarantee.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "common/units.h"
+#include "core/reservation.h"
+
+namespace sunflow {
+
+class PortReservationTable {
+ public:
+  explicit PortReservationTable(PortId num_ports);
+
+  PortId num_ports() const { return num_ports_; }
+
+  /// True iff no reservation on input port i covers time t (half-open
+  /// intervals: a reservation ending exactly at t leaves the port free).
+  bool InputFreeAt(PortId i, Time t) const;
+  bool OutputFreeAt(PortId j, Time t) const;
+
+  /// Start time of the earliest reservation beginning strictly after t on
+  /// the given port; kTimeInf if none. This is the t_m of Algorithm 1
+  /// line 16 ("earliest next-reserv-time"), needed only at the inter-Coflow
+  /// level: a lower-priority coflow must release the port before a
+  /// higher-priority reservation begins.
+  Time NextReservationStartAfter(PortId in, PortId out, Time t) const;
+
+  /// Records a circuit [in, out] during [start, end) with the given setup
+  /// prefix. Checks the port constraint on both ports.
+  void Reserve(const CircuitReservation& r);
+
+  /// Earliest reservation end strictly after t across all ports (the next
+  /// "circuit release time", Algorithm 1 line 10); kTimeInf if none.
+  Time NextReleaseAfter(Time t) const;
+
+  /// All reservations in insertion order.
+  const std::vector<CircuitReservation>& reservations() const {
+    return all_;
+  }
+
+  /// Reservations on one input/output port, sorted by start time.
+  std::vector<CircuitReservation> InputPortTimeline(PortId i) const;
+  std::vector<CircuitReservation> OutputPortTimeline(PortId j) const;
+
+  /// Validates the full table (no overlap on any port; sane windows).
+  void CheckInvariants() const;
+
+ private:
+  struct Slot {
+    Time start;
+    Time end;
+    std::size_t index;  ///< into all_
+
+    bool operator<(const Slot& other) const { return start < other.start; }
+  };
+
+  static bool FreeAt(const std::set<Slot>& slots, Time t);
+  static Time NextStartAfter(const std::set<Slot>& slots, Time t);
+  static void CheckNoOverlap(const std::set<Slot>& slots, const Slot& s);
+
+  PortId num_ports_;
+  std::vector<std::set<Slot>> in_slots_;
+  std::vector<std::set<Slot>> out_slots_;
+  std::multiset<Time> release_times_;
+  std::vector<CircuitReservation> all_;
+};
+
+}  // namespace sunflow

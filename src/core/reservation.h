@@ -1,0 +1,39 @@
+// Circuit reservation types shared by the Sunflow scheduler and executors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace sunflow {
+
+/// One scheduled circuit [in, out] occupying both ports during
+/// [start, end). The first `setup` seconds are the reconfiguration delay δ
+/// (no data moves); the remainder transmits at full link bandwidth. A
+/// reservation with setup == 0 continues an already-established circuit.
+struct CircuitReservation {
+  PortId in = 0;
+  PortId out = 0;
+  Time start = 0;
+  Time end = 0;
+  Time setup = 0;
+  CoflowId coflow = -1;
+
+  Time length() const { return end - start; }
+  Time transmit_begin() const { return start + setup; }
+  Time transmit_length() const { return end - start - setup; }
+
+  std::string DebugString() const;
+};
+
+/// Identifies a subflow by its coflow and port pair.
+struct FlowKey {
+  CoflowId coflow = -1;
+  PortId src = 0;
+  PortId dst = 0;
+
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+}  // namespace sunflow

@@ -1,0 +1,62 @@
+#include "core/schedule_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sunflow {
+
+namespace {
+constexpr char kHeader[] = "coflow,in,out,start,end,setup";
+
+[[noreturn]] void Fail(int line_no, const std::string& why) {
+  throw std::runtime_error("reservation CSV parse error at line " +
+                           std::to_string(line_no) + ": " + why);
+}
+}  // namespace
+
+void WriteReservationsCsv(
+    std::ostream& out, const std::vector<CircuitReservation>& reservations) {
+  out << kHeader << "\n";
+  out.precision(17);  // round-trip exact doubles
+  for (const auto& r : reservations) {
+    out << r.coflow << "," << r.in << "," << r.out << "," << r.start << ","
+        << r.end << "," << r.setup << "\n";
+  }
+}
+
+std::vector<CircuitReservation> ReadReservationsCsv(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  if (!std::getline(in, line)) Fail(1, "empty input");
+  ++line_no;
+  if (line != kHeader) Fail(1, "bad header '" + line + "'");
+
+  std::vector<CircuitReservation> out;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    CircuitReservation r;
+    char comma = 0;
+    long long coflow = 0, in_port = 0, out_port = 0;
+    if (!(ls >> coflow >> comma) || comma != ',') Fail(line_no, "coflow");
+    if (!(ls >> in_port >> comma) || comma != ',') Fail(line_no, "in");
+    if (!(ls >> out_port >> comma) || comma != ',') Fail(line_no, "out");
+    if (!(ls >> r.start >> comma) || comma != ',') Fail(line_no, "start");
+    if (!(ls >> r.end >> comma) || comma != ',') Fail(line_no, "end");
+    if (!(ls >> r.setup)) Fail(line_no, "setup");
+    r.coflow = coflow;
+    r.in = static_cast<PortId>(in_port);
+    r.out = static_cast<PortId>(out_port);
+    if (r.end <= r.start) Fail(line_no, "end <= start");
+    if (r.setup < 0 || r.setup > r.end - r.start)
+      Fail(line_no, "setup out of range");
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace sunflow

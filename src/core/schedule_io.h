@@ -1,0 +1,25 @@
+// Schedule serialization: dump/load reservations as CSV.
+//
+// A deployment's controller (§6) consumes the reservation stream; this
+// format is the integration surface — also handy for diffing schedules in
+// tests and for plotting timelines outside the library.
+//
+// Format (header line, then one row per reservation, times in seconds):
+//   coflow,in,out,start,end,setup
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/reservation.h"
+
+namespace sunflow {
+
+void WriteReservationsCsv(std::ostream& out,
+                          const std::vector<CircuitReservation>& reservations);
+
+/// Parses the CSV written above. Throws std::runtime_error on malformed
+/// input (with the line number).
+std::vector<CircuitReservation> ReadReservationsCsv(std::istream& in);
+
+}  // namespace sunflow

@@ -1,0 +1,190 @@
+#include "core/sunflow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace sunflow {
+
+const char* ToString(ReservationOrder order) {
+  switch (order) {
+    case ReservationOrder::kOrderedPort:
+      return "OrderedPort";
+    case ReservationOrder::kRandom:
+      return "Random";
+    case ReservationOrder::kSortedDemandDesc:
+      return "SortedDemandDesc";
+    case ReservationOrder::kSortedDemandAsc:
+      return "SortedDemandAsc";
+  }
+  return "?";
+}
+
+Time SunflowSchedule::MaxCompletion() const {
+  Time best = 0;
+  for (const auto& [id, cct] : completion_time) best = std::max(best, cct);
+  return best;
+}
+
+PlanRequest PlanRequest::FromCoflow(const Coflow& coflow, Bandwidth bandwidth,
+                                    std::optional<Time> start) {
+  SUNFLOW_CHECK(bandwidth > 0);
+  PlanRequest req;
+  req.coflow = coflow.id();
+  req.start = start.value_or(coflow.arrival());
+  req.demand.reserve(coflow.size());
+  for (const Flow& f : coflow.flows()) {
+    req.demand.push_back({f.src, f.dst, f.bytes / bandwidth});
+  }
+  return req;
+}
+
+SunflowPlanner::SunflowPlanner(PortId num_ports, SunflowConfig config)
+    : prt_(num_ports), config_(config) {
+  SUNFLOW_CHECK(config_.bandwidth > 0);
+  SUNFLOW_CHECK(config_.delta >= 0);
+}
+
+void SunflowPlanner::SetEstablishedCircuits(EstablishedCircuits circuits,
+                                            Time at) {
+  established_ = std::move(circuits);
+  established_at_ = at;
+}
+
+void SunflowPlanner::SetReservationCallback(ReservationCallback callback) {
+  callback_ = std::move(callback);
+}
+
+void SunflowPlanner::ImportReservations(
+    const std::vector<CircuitReservation>& reservations) {
+  for (const CircuitReservation& r : reservations) {
+    prt_.Reserve(r);
+    if (callback_) callback_(r);
+  }
+}
+
+std::vector<FlowDemand> SunflowPlanner::Ordered(const PlanRequest& request) {
+  std::vector<FlowDemand> p = request.demand;
+  if (config_.demand_quantum > 0) {
+    for (FlowDemand& f : p) {
+      f.processing = std::ceil(f.processing / config_.demand_quantum) *
+                     config_.demand_quantum;
+    }
+  }
+  switch (config_.order) {
+    case ReservationOrder::kOrderedPort:
+      std::sort(p.begin(), p.end(), [](const FlowDemand& a, const FlowDemand& b) {
+        return std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+      });
+      break;
+    case ReservationOrder::kRandom: {
+      // Seed mixes in the coflow id so different coflows get different
+      // shuffles while the whole run stays deterministic.
+      Rng rng(config_.shuffle_seed * 0x9e3779b97f4a7c15ULL +
+              static_cast<std::uint64_t>(request.coflow));
+      rng.Shuffle(p);
+      break;
+    }
+    case ReservationOrder::kSortedDemandDesc:
+      std::stable_sort(p.begin(), p.end(),
+                       [](const FlowDemand& a, const FlowDemand& b) {
+                         return a.processing > b.processing;
+                       });
+      break;
+    case ReservationOrder::kSortedDemandAsc:
+      std::stable_sort(p.begin(), p.end(),
+                       [](const FlowDemand& a, const FlowDemand& b) {
+                         return a.processing < b.processing;
+                       });
+      break;
+  }
+  return p;
+}
+
+Time SunflowPlanner::ScheduleOne(const PlanRequest& request,
+                                 SunflowSchedule& out) {
+  const Time delta = config_.delta;
+  std::vector<FlowDemand> pending = Ordered(request);
+  // Drop zero-demand entries up front (Equation 3: t_ij = 0 when p_ij = 0).
+  std::erase_if(pending,
+                [](const FlowDemand& f) { return f.processing <= kTimeEps; });
+
+  Time finish = request.start;
+  Time t = request.start;
+  int reservations_made = 0;
+
+  // MakeReservation (Algorithm 1 lines 13-23). Returns remaining demand.
+  auto make_reservation = [&](const FlowDemand& f) -> Time {
+    if (!prt_.InputFreeAt(f.src, t) || !prt_.OutputFreeAt(f.dst, t)) {
+      return f.processing;
+    }
+    // Setup is free when this pair is already an established circuit and
+    // the reservation begins at the instant the circuit was observed up.
+    Time setup = delta;
+    if (TimeEq(t, established_at_)) {
+      auto it = established_.find(f.src);
+      if (it != established_.end() && it->second == f.dst) setup = 0;
+    }
+    const Time tm = prt_.NextReservationStartAfter(f.src, f.dst, t);
+    const Time lm = tm - t;  // max length before blocking a prior reservation
+    const Time ld = setup + f.processing;  // desired length
+    // A reservation of length <= setup would transmit nothing: skip.
+    if (lm <= setup + kTimeEps) return f.processing;
+    const Time l = std::min(lm, ld);
+    const CircuitReservation reservation{f.src, f.dst, t, t + l, setup,
+                                         request.coflow};
+    prt_.Reserve(reservation);
+    ++reservations_made;
+    if (callback_) callback_(reservation);
+    const Time remaining = std::max(0.0, ld - l);
+    if (remaining <= kTimeEps) {
+      // Flow finished in this reservation.
+      const Time flow_finish = t + l;
+      out.flow_finish[{request.coflow, f.src, f.dst}] = flow_finish;
+      finish = std::max(finish, flow_finish);
+      return 0;
+    }
+    return remaining;
+  };
+
+  while (!pending.empty()) {
+    for (FlowDemand& f : pending) f.processing = make_reservation(f);
+    std::erase_if(pending,
+                  [](const FlowDemand& f) { return f.processing <= kTimeEps; });
+    if (pending.empty()) break;
+    const Time next = prt_.NextReleaseAfter(t);
+    SUNFLOW_CHECK_MSG(next < kTimeInf,
+                      "Sunflow stuck: pending demand but no future release "
+                      "(coflow "
+                          << request.coflow << ")");
+    SUNFLOW_CHECK(next > t);
+    t = next;
+  }
+
+  out.completion_time[request.coflow] = finish - request.start;
+  out.reservation_count[request.coflow] += reservations_made;
+  return finish;
+}
+
+SunflowSchedule SunflowPlanner::ScheduleAll(
+    const std::vector<PlanRequest>& requests) {
+  SunflowSchedule out;
+  for (const PlanRequest& req : requests) ScheduleOne(req, out);
+  out.reservations = prt_.reservations();
+  return out;
+}
+
+SunflowSchedule ScheduleSingleCoflow(const Coflow& coflow, PortId num_ports,
+                                     const SunflowConfig& config) {
+  SunflowPlanner planner(num_ports, config);
+  SunflowSchedule out;
+  PlanRequest req = PlanRequest::FromCoflow(coflow, config.bandwidth,
+                                            /*start=*/coflow.arrival());
+  planner.ScheduleOne(req, out);
+  out.reservations = planner.prt().reservations();
+  return out;
+}
+
+}  // namespace sunflow

@@ -1,0 +1,143 @@
+// Sunflow — the paper's scheduling algorithm (Algorithm 1).
+//
+// Intra-Coflow: non-preemptive circuit reservations on a Port Reservation
+// Table; a circuit with non-zero demand is set up once and stays active
+// until the demand is finished (Lemma 1: CCT ≤ 2·TcL for any δ, any coflow,
+// any reservation ordering). Inter-Coflow: IntraCoflow applied to coflows
+// in priority order on a shared PRT, so higher-priority coflows are never
+// blocked by lower-priority ones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "core/prt.h"
+#include "core/reservation.h"
+#include "trace/coflow.h"
+
+namespace sunflow {
+
+/// "Shuffle P if desired" (Algorithm 1 line 3): the order in which demand
+/// entries are considered. Lemma 1 holds for every ordering; §5.3.1 measures
+/// the (small) performance differences.
+enum class ReservationOrder {
+  kOrderedPort,       ///< sort by (src, dst) — the paper's default
+  kRandom,            ///< uniformly shuffled
+  kSortedDemandDesc,  ///< biggest demand first
+  kSortedDemandAsc,   ///< smallest demand first
+};
+
+const char* ToString(ReservationOrder order);
+
+struct SunflowConfig {
+  Bandwidth bandwidth = Gbps(1);
+  Time delta = Millis(10);  ///< circuit reconfiguration delay δ
+  ReservationOrder order = ReservationOrder::kOrderedPort;
+  std::uint64_t shuffle_seed = 1;  ///< used only for kRandom
+  /// §6's approximation scheme: processing times are rounded *up* to a
+  /// multiple of this quantum before planning, pruning circuit-release
+  /// events (more flows release simultaneously) at the cost of slightly
+  /// longer reservations. 0 disables. Lemma 1 holds against the quantized
+  /// demand's bounds (≤ true TcL + quantum·|C|); note the effect on a
+  /// specific coflow's CCT is not monotone — greedy scheduling anomalies
+  /// can shift it either way.
+  Time demand_quantum = 0;
+};
+
+/// A circuit (in → out) that is already established (set up and
+/// transmitting) at the instant planning starts; reservations for this pair
+/// beginning exactly at plan start need no setup δ. Used by the replay
+/// engine to carry circuits across replans.
+using EstablishedCircuits = std::map<PortId, PortId>;
+
+/// Result of planning one or more coflows.
+struct SunflowSchedule {
+  /// Planned CCT per coflow id: max flow finish − coflow start time.
+  std::map<CoflowId, Time> completion_time;
+  /// Absolute finish time of each flow.
+  std::map<FlowKey, Time> flow_finish;
+  /// Number of reservations (== circuit setups when no carry-over) per
+  /// coflow — Fig 5's switching count.
+  std::map<CoflowId, int> reservation_count;
+
+  /// All reservations, in the order they were created.
+  std::vector<CircuitReservation> reservations;
+
+  Time MaxCompletion() const;
+};
+
+/// Remaining demand of one flow, in processing-time units.
+struct FlowDemand {
+  PortId src = 0;
+  PortId dst = 0;
+  Time processing = 0;  ///< p_ij = remaining bytes / B
+};
+
+/// A unit of work for the planner: a coflow id, its start time (arrival or
+/// replan instant), and its remaining per-flow processing times.
+struct PlanRequest {
+  CoflowId coflow = -1;
+  Time start = 0;
+  std::vector<FlowDemand> demand;
+
+  /// Builds a request from a whole coflow (all bytes remaining).
+  static PlanRequest FromCoflow(const Coflow& coflow, Bandwidth bandwidth,
+                                std::optional<Time> start = std::nullopt);
+};
+
+class SunflowPlanner {
+ public:
+  SunflowPlanner(PortId num_ports, SunflowConfig config);
+
+  /// Algorithm 1, IntraCoflow: reserves circuits for one request on the
+  /// shared PRT, never disturbing existing reservations. Returns the
+  /// absolute finish time of the request (kTimeInf never — always finite).
+  Time ScheduleOne(const PlanRequest& request, SunflowSchedule& out);
+
+  /// Algorithm 1, InterCoflow: schedules requests in the given order
+  /// (callers sort by priority policy first). Earlier requests are planned
+  /// first and therefore never blocked by later ones.
+  SunflowSchedule ScheduleAll(const std::vector<PlanRequest>& requests);
+
+  /// Declares circuits already up at plan start (replay carry-over).
+  void SetEstablishedCircuits(EstablishedCircuits circuits, Time at);
+
+  /// §6 latency hiding: "Sunflow may schedule each computed circuit
+  /// individually, thus hiding the scheduling latency by overlapping
+  /// circuit setup with data transmissions." The callback fires the moment
+  /// each reservation is decided; within a single ScheduleOne call the
+  /// emissions are non-decreasing in start time, so a controller can
+  /// dispatch setup commands while later circuits are still being planned.
+  using ReservationCallback = std::function<void(const CircuitReservation&)>;
+  void SetReservationCallback(ReservationCallback callback);
+
+  /// Merges reservations planned elsewhere (e.g. per-component planners on
+  /// copies of this planner's state — see core/components.h) into this
+  /// PRT. Every reservation is re-validated against the port constraints;
+  /// the callback fires for each. Call with reservations sorted by start
+  /// time to preserve the streaming guarantee.
+  void ImportReservations(const std::vector<CircuitReservation>& reservations);
+
+  const PortReservationTable& prt() const { return prt_; }
+  const SunflowConfig& config() const { return config_; }
+
+ private:
+  std::vector<FlowDemand> Ordered(const PlanRequest& request);
+
+  PortReservationTable prt_;
+  SunflowConfig config_;
+  EstablishedCircuits established_;
+  Time established_at_ = -1;
+  ReservationCallback callback_;
+};
+
+/// Convenience wrapper: schedules a single coflow from an empty PRT and
+/// returns its schedule (the paper's intra-Coflow evaluation mode).
+SunflowSchedule ScheduleSingleCoflow(const Coflow& coflow, PortId num_ports,
+                                     const SunflowConfig& config);
+
+}  // namespace sunflow

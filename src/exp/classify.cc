@@ -1,0 +1,23 @@
+#include "exp/classify.h"
+
+namespace sunflow::exp {
+
+CategoryBreakdown ClassifyTrace(const Trace& trace) {
+  CategoryBreakdown breakdown{};
+  Bytes total_bytes = 0;
+  for (const Coflow& c : trace.coflows) {
+    auto& share = breakdown[static_cast<std::size_t>(c.category())];
+    ++share.count;
+    share.byte_fraction += c.total_bytes();  // bytes for now, normalized below
+    total_bytes += c.total_bytes();
+  }
+  const double n = static_cast<double>(trace.coflows.size());
+  for (auto& share : breakdown) {
+    share.coflow_fraction = n > 0 ? static_cast<double>(share.count) / n : 0;
+    share.byte_fraction =
+        total_bytes > 0 ? share.byte_fraction / total_bytes : 0;
+  }
+  return breakdown;
+}
+
+}  // namespace sunflow::exp

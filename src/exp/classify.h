@@ -1,0 +1,21 @@
+// Trace composition statistics (paper Table 4).
+#pragma once
+
+#include <array>
+
+#include "trace/coflow.h"
+
+namespace sunflow::exp {
+
+struct CategoryShare {
+  double coflow_fraction = 0;
+  double byte_fraction = 0;
+  std::size_t count = 0;
+};
+
+/// Indexed by CoflowCategory (O2O, O2M, M2O, M2M).
+using CategoryBreakdown = std::array<CategoryShare, 4>;
+
+CategoryBreakdown ClassifyTrace(const Trace& trace);
+
+}  // namespace sunflow::exp

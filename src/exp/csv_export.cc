@@ -1,0 +1,30 @@
+#include "exp/csv_export.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace sunflow::exp {
+
+void WriteCsv(const std::string& path, const std::vector<CsvColumn>& columns) {
+  if (columns.empty()) throw std::runtime_error("WriteCsv: no columns");
+  const std::size_t rows = columns.front().values.size();
+  for (const auto& c : columns) {
+    if (c.values.size() != rows)
+      throw std::runtime_error("WriteCsv: ragged columns (" + c.name + ")");
+  }
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("WriteCsv: cannot open " + path);
+  f.precision(12);
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    f << (c ? "," : "") << columns[c].name;
+  }
+  f << "\n";
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      f << (c ? "," : "") << columns[c].values[r];
+    }
+    f << "\n";
+  }
+}
+
+}  // namespace sunflow::exp

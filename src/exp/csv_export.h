@@ -1,0 +1,21 @@
+// Per-coflow CSV export so the paper's scatter plots (Figs 3, 7, 9) can be
+// regenerated with any plotting tool. Bench binaries expose this through
+// a --csv_out flag.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sunflow::exp {
+
+/// One named column of per-coflow values; all columns must be equal length.
+struct CsvColumn {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Writes "name1,name2,...\n" then one row per index. Throws
+/// std::runtime_error if the file cannot be opened or lengths mismatch.
+void WriteCsv(const std::string& path, const std::vector<CsvColumn>& columns);
+
+}  // namespace sunflow::exp

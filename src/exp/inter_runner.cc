@@ -1,0 +1,76 @@
+#include "exp/inter_runner.h"
+
+#include "common/assert.h"
+#include "packet/aalo.h"
+#include "packet/replay.h"
+#include "packet/varys.h"
+#include "trace/bounds.h"
+
+namespace sunflow::exp {
+
+double InterComparison::AvgCct(const std::map<CoflowId, Time>& cct) const {
+  if (cct.empty()) return 0;
+  Time total = 0;
+  for (const auto& [id, t] : cct) total += t;
+  return total / static_cast<double>(cct.size());
+}
+
+std::vector<double> InterComparison::Ratios(
+    const std::map<CoflowId, Time>& a, const std::map<CoflowId, Time>& b) {
+  std::vector<double> out;
+  out.reserve(a.size());
+  for (const auto& [id, va] : a) {
+    auto it = b.find(id);
+    if (it == b.end() || it->second <= 0) continue;
+    out.push_back(va / it->second);
+  }
+  return out;
+}
+
+std::vector<double> InterComparison::Differences(
+    const std::map<CoflowId, Time>& a, const std::map<CoflowId, Time>& b) {
+  std::vector<double> out;
+  out.reserve(a.size());
+  for (const auto& [id, va] : a) {
+    auto it = b.find(id);
+    if (it == b.end()) continue;
+    out.push_back(va - it->second);
+  }
+  return out;
+}
+
+InterComparison RunInterComparison(const Trace& trace,
+                                   const InterRunConfig& config) {
+  InterComparison cmp;
+  for (const Coflow& c : trace.coflows) {
+    cmp.tpl[c.id()] = PacketLowerBound(c, config.bandwidth);
+    cmp.pavg[c.id()] = c.AvgProcessingTime(config.bandwidth);
+  }
+
+  {
+    CircuitReplayConfig rc;
+    rc.sunflow.bandwidth = config.bandwidth;
+    rc.sunflow.delta = config.delta;
+    rc.carry_over_circuits = config.carry_over_circuits;
+    const auto policy = MakeShortestFirstPolicy();
+    cmp.sunflow = ReplayCircuitTrace(trace, *policy, rc).cct;
+  }
+  if (config.run_varys) {
+    packet::PacketReplayConfig pc;
+    pc.bandwidth = config.bandwidth;
+    pc.reallocate_on_flow_completion = false;  // §5.4's Varys behaviour
+    auto varys = packet::MakeVarysAllocator();
+    cmp.varys = packet::ReplayPacketTrace(trace, *varys, pc).cct;
+  }
+  if (config.run_aalo) {
+    packet::PacketReplayConfig pc;
+    pc.bandwidth = config.bandwidth;
+    pc.reallocate_on_flow_completion = true;
+    pc.track_queue_crossings = true;
+    auto aalo = packet::MakeAaloAllocator();
+    cmp.aalo = packet::ReplayPacketTrace(trace, *aalo, pc).cct;
+  }
+  return cmp;
+}
+
+}  // namespace sunflow::exp

@@ -1,0 +1,48 @@
+// Inter-Coflow experiment runner (§5.4).
+//
+// Replays the full trace (arrival times included) under Sunflow with the
+// shortest-Coflow-first policy on the circuit switch, and under Varys and
+// Aalo on the packet switch, and aligns the per-coflow CCTs for ratio /
+// difference analysis (Figs 8–10 and the §5.4 ratio paragraphs).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/circuit_replay.h"
+#include "trace/coflow.h"
+
+namespace sunflow::exp {
+
+struct InterRunConfig {
+  Bandwidth bandwidth = Gbps(1);
+  Time delta = Millis(10);
+  bool carry_over_circuits = true;
+  bool run_varys = true;
+  bool run_aalo = true;
+};
+
+struct InterComparison {
+  /// Per-coflow CCT under each scheme (same key set: all trace coflows).
+  std::map<CoflowId, Time> sunflow;
+  std::map<CoflowId, Time> varys;
+  std::map<CoflowId, Time> aalo;
+  /// Per-coflow static TpL at the run bandwidth (Fig 7/9 x-axis; long/short
+  /// split) and pavg.
+  std::map<CoflowId, Time> tpl;
+  std::map<CoflowId, Time> pavg;
+
+  double AvgCct(const std::map<CoflowId, Time>& cct) const;
+  /// Per-coflow ratios a/b for every coflow present in both maps.
+  static std::vector<double> Ratios(const std::map<CoflowId, Time>& a,
+                                    const std::map<CoflowId, Time>& b);
+  /// Per-coflow differences a−b (Fig 9's ΔCCT).
+  static std::vector<double> Differences(const std::map<CoflowId, Time>& a,
+                                         const std::map<CoflowId, Time>& b);
+};
+
+InterComparison RunInterComparison(const Trace& trace,
+                                   const InterRunConfig& config);
+
+}  // namespace sunflow::exp

@@ -1,0 +1,113 @@
+#include "exp/intra_runner.h"
+
+#include "common/assert.h"
+#include "sched/executor.h"
+#include "trace/bounds.h"
+#include "trace/demand_matrix.h"
+
+namespace sunflow::exp {
+
+const char* ToString(IntraAlgorithm a) {
+  switch (a) {
+    case IntraAlgorithm::kSunflow:
+      return "Sunflow";
+    case IntraAlgorithm::kSolstice:
+      return "Solstice";
+    case IntraAlgorithm::kTms:
+      return "TMS";
+    case IntraAlgorithm::kEdmonds:
+      return "Edmonds";
+  }
+  return "?";
+}
+
+std::vector<double> IntraRunResult::Collect(
+    double (*fn)(const IntraRecord&)) const {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(fn(r));
+  return out;
+}
+
+namespace {
+
+IntraRecord BaseRecord(const Coflow& coflow, const IntraRunConfig& config) {
+  IntraRecord rec;
+  rec.id = coflow.id();
+  rec.category = coflow.category();
+  rec.num_flows = coflow.size();
+  rec.bytes = coflow.total_bytes();
+  rec.pavg = coflow.AvgProcessingTime(config.bandwidth);
+  rec.tcl = CircuitLowerBound(coflow, config.bandwidth, config.delta);
+  rec.tpl = PacketLowerBound(coflow, config.bandwidth);
+  return rec;
+}
+
+void RunSunflowOne(const Coflow& coflow, PortId num_ports,
+                   const IntraRunConfig& config, IntraRecord& rec) {
+  SunflowConfig sc;
+  sc.bandwidth = config.bandwidth;
+  sc.delta = config.delta;
+  sc.order = config.order;
+  sc.shuffle_seed = config.shuffle_seed;
+  const Coflow at_zero = coflow.WithArrival(0);
+  const SunflowSchedule schedule =
+      ScheduleSingleCoflow(at_zero, num_ports, sc);
+  rec.cct = schedule.completion_time.at(coflow.id());
+  rec.switching_count = schedule.reservation_count.at(coflow.id());
+}
+
+void RunBaselineOne(const Coflow& coflow, IntraAlgorithm algorithm,
+                    const IntraRunConfig& config, IntraRecord& rec) {
+  DemandMatrix demand(coflow, config.bandwidth);
+  demand.MakeSquare();
+  AssignmentSchedule schedule;
+  switch (algorithm) {
+    case IntraAlgorithm::kSolstice:
+      schedule = ScheduleSolstice(demand, config.solstice);
+      break;
+    case IntraAlgorithm::kTms:
+      schedule = ScheduleTms(demand, config.tms);
+      break;
+    case IntraAlgorithm::kEdmonds:
+      schedule = ScheduleEdmonds(demand, config.edmonds);
+      break;
+    case IntraAlgorithm::kSunflow:
+      SUNFLOW_CHECK(false);
+  }
+  const ExecutionResult exec =
+      config.all_stop ? ExecuteAllStop(demand, schedule, config.delta)
+                      : ExecuteNotAllStop(demand, schedule, config.delta);
+  rec.cct = exec.cct;
+  rec.switching_count = exec.circuit_setups;
+}
+
+}  // namespace
+
+IntraRunResult RunIntra(const Trace& trace, IntraAlgorithm algorithm,
+                        const IntraRunConfig& config) {
+  IntraRunResult result;
+  result.algorithm = ToString(algorithm);
+  result.config = config;
+  result.records.reserve(trace.coflows.size());
+  for (const Coflow& coflow : trace.coflows) {
+    IntraRecord rec = BaseRecord(coflow, config);
+    if (algorithm == IntraAlgorithm::kSunflow) {
+      RunSunflowOne(coflow, trace.num_ports, config, rec);
+    } else {
+      RunBaselineOne(coflow, algorithm, config, rec);
+    }
+    result.records.push_back(rec);
+  }
+  return result;
+}
+
+bool IsLongCoflow(const IntraRecord& record, Time delta, double multiple) {
+  return record.pavg > multiple * delta;
+}
+
+bool IsLongCoflow(Time pavg, Time delta, double multiple) {
+  return pavg > multiple * delta;
+}
+
+}  // namespace sunflow::exp

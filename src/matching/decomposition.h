@@ -1,0 +1,54 @@
+// Matrix stuffing and Birkhoff–von-Neumann (BvN) decomposition.
+//
+// Both TMS and Solstice reduce circuit scheduling to decomposing a demand
+// matrix into permutation matrices. A matrix is "perfect" when every row
+// and column sums to the same value T; Hall's theorem then guarantees the
+// positive-entry bipartite graph admits a perfect matching, so BvN always
+// terminates.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "trace/demand_matrix.h"
+
+namespace sunflow {
+
+/// One decomposition step: a permutation (assignment of each row to a
+/// distinct column) active for `duration`.
+struct WeightedAssignment {
+  std::vector<int> col_of_row;  ///< size n, a permutation (or -1 = unmatched)
+  Time duration = 0;
+};
+
+/// Solstice's QuickStuff (Liu et al., CoNEXT'15 §4.1): raises entries so
+/// that every row and column sums to T = max line sum, preferring existing
+/// non-zero entries (preserves sparsity), then falling back to zero entries.
+/// Input must be square; modifies in place and returns T.
+Time QuickStuff(DemandMatrix& m);
+
+/// Exact BvN decomposition of a perfect matrix (all line sums == T within
+/// tolerance): repeatedly extract a perfect matching on positive entries
+/// with weight = min matched entry. At most n²−2n+2 assignments.
+/// `reference_scale` sets the magnitude against which numeric dust and
+/// droppable residue are judged; 0 means the matrix's own max line sum
+/// (callers decomposing a residual of a larger matrix should pass the
+/// original scale).
+std::vector<WeightedAssignment> BvnDecompose(DemandMatrix m,
+                                             Time eps = kTimeEps,
+                                             Time reference_scale = 0);
+
+/// Solstice's BigSlice loop: thresholded decomposition that prefers long
+/// slots. Picks the largest r = T/2^k admitting a perfect matching among
+/// entries >= r, schedules it for r, subtracts, and repeats; falls back to
+/// exact BvN steps for the residue. Input must be perfect (post-stuffing).
+std::vector<WeightedAssignment> BigSliceDecompose(DemandMatrix m,
+                                                  Time eps = kTimeEps);
+
+/// Sinkhorn row/column normalization towards a doubly stochastic matrix
+/// scaled to T (used by TMS pre-processing). Zero rows/columns receive
+/// uniform fill-in first. Returns the scaled matrix.
+DemandMatrix SinkhornScale(const DemandMatrix& m, Time target_line_sum,
+                           int iterations = 50);
+
+}  // namespace sunflow

@@ -1,0 +1,142 @@
+#include "net/driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/assert.h"
+
+namespace sunflow::net {
+
+namespace {
+
+// Reservations on one input port, sorted by start time.
+std::map<PortId, std::vector<const CircuitReservation*>> ByInputPort(
+    const std::vector<CircuitReservation>& reservations) {
+  std::map<PortId, std::vector<const CircuitReservation*>> by_port;
+  for (const auto& r : reservations) by_port[r.in].push_back(&r);
+  for (auto& [port, list] : by_port) {
+    std::sort(list.begin(), list.end(),
+              [](const CircuitReservation* a, const CircuitReservation* b) {
+                return a->start < b->start;
+              });
+  }
+  return by_port;
+}
+
+}  // namespace
+
+std::vector<SwitchCommand> CompileCommands(
+    const std::vector<CircuitReservation>& reservations, Time delta) {
+  std::vector<SwitchCommand> commands;
+  const auto by_port = ByInputPort(reservations);
+  for (const auto& [port, list] : by_port) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const CircuitReservation* r = list[i];
+      commands.push_back({r->start, r->in, r->out,
+                          /*expect_established=*/delta > 0 && r->setup == 0});
+      // Teardown unless the next reservation continues the same circuit
+      // seamlessly (back-to-back, same peer, no setup).
+      const bool continued =
+          i + 1 < list.size() && list[i + 1]->out == r->out &&
+          TimeEq(list[i + 1]->start, r->end) &&
+          (delta == 0 || list[i + 1]->setup == 0);
+      if (!continued) commands.push_back({r->end, r->in, -1, false});
+    }
+  }
+  // Teardowns strictly before connects at the same instant so an output
+  // port released at t can be claimed by another input at t.
+  std::stable_sort(commands.begin(), commands.end(),
+                   [](const SwitchCommand& a, const SwitchCommand& b) {
+                     if (!TimeEq(a.at, b.at)) return a.at < b.at;
+                     return (a.out < 0) > (b.out < 0);
+                   });
+  return commands;
+}
+
+void DriverResult::VerifyAgainst(const SunflowSchedule& schedule,
+                                 Bandwidth bandwidth, Time eps) const {
+  // Expected bytes per flow: the transmit time the plan reserved for it.
+  std::map<FlowKey, Bytes> expected;
+  for (const auto& r : schedule.reservations) {
+    expected[{r.coflow, r.in, r.out}] += r.transmit_length() * bandwidth;
+  }
+  SUNFLOW_CHECK_MSG(expected.size() == delivered.size(),
+                    "driver saw " << delivered.size() << " flows, plan has "
+                                  << expected.size());
+  for (const auto& [key, bytes] : expected) {
+    auto it = delivered.find(key);
+    SUNFLOW_CHECK_MSG(it != delivered.end(),
+                      "flow never transmitted on the switch");
+    SUNFLOW_CHECK_MSG(std::abs(it->second - bytes) <= eps * bandwidth + 1.0,
+                      "delivered " << it->second << " bytes, plan promised "
+                                   << bytes);
+  }
+  for (const auto& [key, promised_finish] : schedule.flow_finish) {
+    auto it = finish.find(key);
+    SUNFLOW_CHECK_MSG(it != finish.end(), "flow finish not observed");
+    SUNFLOW_CHECK_MSG(std::abs(it->second - promised_finish) <= eps,
+                      "flow finished at " << it->second << ", plan promised "
+                                          << promised_finish);
+  }
+}
+
+DriverResult ExecuteOnSwitch(const SunflowSchedule& schedule,
+                             PortId num_ports, const SunflowConfig& config,
+                             const EstablishedCircuits& established) {
+  OpticalCircuitSwitch device(num_ports, config.delta);
+  for (const auto& [in, out] : established) device.PreEstablish(in, out);
+
+  const auto commands = CompileCommands(schedule.reservations, config.delta);
+  const auto by_port = ByInputPort(schedule.reservations);
+
+  // Breakpoints: every instant the connectivity can change.
+  std::set<Time> breakpoints;
+  for (const auto& r : schedule.reservations) {
+    breakpoints.insert(r.start);
+    breakpoints.insert(r.transmit_begin());
+    breakpoints.insert(r.end);
+  }
+
+  DriverResult result;
+  std::size_t next_command = 0;
+  // Per-port cursor into its reservation list (they are time-sorted).
+  std::map<PortId, std::size_t> cursor;
+
+  Time prev = breakpoints.empty() ? 0 : *breakpoints.begin();
+  for (Time t : breakpoints) {
+    // Meter the interval [prev, t) with the device state as of prev.
+    if (t > prev + kTimeEps) {
+      for (const auto& [port, list] : by_port) {
+        auto& idx = cursor[port];
+        while (idx < list.size() && list[idx]->end <= prev + kTimeEps) ++idx;
+        if (idx >= list.size()) continue;
+        const CircuitReservation* r = list[idx];
+        if (r->start > prev + kTimeEps) continue;  // gap on this port
+        if (!device.IsConnected(r->in, r->out)) continue;  // still dark
+        const Bytes bytes = (t - prev) * config.bandwidth;
+        const FlowKey key{r->coflow, r->in, r->out};
+        result.delivered[key] += bytes;
+        if (bytes > 0) {
+          auto& f = result.finish[key];
+          f = std::max(f, t);
+        }
+      }
+    }
+    // Apply the commands due at t so the next interval sees fresh state.
+    while (next_command < commands.size() &&
+           commands[next_command].at <= t + kTimeEps) {
+      device.Apply(commands[next_command]);
+      ++next_command;
+    }
+    device.AdvanceTo(t);
+    prev = t;
+  }
+  SUNFLOW_CHECK(next_command == commands.size());
+
+  result.reconfigurations = device.reconfigurations();
+  result.end_time = prev;
+  return result;
+}
+
+}  // namespace sunflow::net

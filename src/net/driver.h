@@ -1,0 +1,51 @@
+// Schedule driver: executes a planned SunflowSchedule on the stateful
+// OpticalCircuitSwitch with simulated host agents (§6 deployment model).
+//
+// Each sending machine runs an agent that knows its input port's rows of
+// the Port Reservation Table; when the switch signals that a circuit for
+// its next reservation is up (REACToR-style setup signals), the agent
+// transmits the owning flow at full line rate until the reservation ends.
+// The driver compiles reservations into timed switch commands, replays
+// them, meters delivered bytes per flow, and reports finish times — an
+// end-to-end check, independent of the planner's own bookkeeping, that the
+// schedule is physically executable and serves every byte it promised.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/reservation.h"
+#include "core/sunflow.h"
+#include "net/ocs.h"
+
+namespace sunflow::net {
+
+struct DriverResult {
+  std::map<FlowKey, Bytes> delivered;
+  std::map<FlowKey, Time> finish;  ///< when the last byte landed
+  int reconfigurations = 0;
+  Time end_time = 0;
+
+  /// Cross-checks against the planner's own records: every flow the plan
+  /// finished is delivered in full, at (within eps) the promised time.
+  /// Throws CheckFailure on mismatch.
+  void VerifyAgainst(const SunflowSchedule& schedule, Bandwidth bandwidth,
+                     Time eps = 1e-6) const;
+};
+
+/// Compiles the reservations into switch commands (setup at start, with
+/// carry-over honoured; teardown at end) in time order. `delta` is the
+/// switch's reconfiguration delay: a reservation with setup == 0 denotes a
+/// carried-over circuit only when delta > 0 (at delta == 0 every fresh
+/// setup is instantaneous and setup is legitimately zero).
+std::vector<SwitchCommand> CompileCommands(
+    const std::vector<CircuitReservation>& reservations, Time delta);
+
+/// Replays the schedule on a fresh switch. `established` pre-connects
+/// circuits that are already up at the schedule's start (replay
+/// carry-over).
+DriverResult ExecuteOnSwitch(const SunflowSchedule& schedule,
+                             PortId num_ports, const SunflowConfig& config,
+                             const EstablishedCircuits& established = {});
+
+}  // namespace sunflow::net

@@ -1,0 +1,163 @@
+#include "net/ocs.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace sunflow::net {
+
+const char* ToString(PortState s) {
+  switch (s) {
+    case PortState::kDark:
+      return "dark";
+    case PortState::kConfiguring:
+      return "configuring";
+    case PortState::kConnected:
+      return "connected";
+  }
+  return "?";
+}
+
+OpticalCircuitSwitch::OpticalCircuitSwitch(PortId num_ports,
+                                           Time reconfiguration_delay)
+    : num_ports_(num_ports),
+      delta_(reconfiguration_delay),
+      inputs_(static_cast<std::size_t>(num_ports)),
+      output_owner_(static_cast<std::size_t>(num_ports), -1),
+      light_time_(static_cast<std::size_t>(num_ports), 0) {
+  SUNFLOW_CHECK(num_ports > 0);
+  SUNFLOW_CHECK(reconfiguration_delay >= 0);
+}
+
+void OpticalCircuitSwitch::CompleteReconfigurations() {
+  for (PortId i = 0; i < num_ports_; ++i) {
+    auto& port = inputs_[static_cast<std::size_t>(i)];
+    if (port.state == PortState::kConfiguring &&
+        port.ready_at <= now_ + kTimeEps) {
+      port.state = PortState::kConnected;
+      port.state_since = port.ready_at;
+    }
+  }
+}
+
+void OpticalCircuitSwitch::PreEstablish(PortId in, PortId out) {
+  SUNFLOW_CHECK(in >= 0 && in < num_ports_);
+  SUNFLOW_CHECK(out >= 0 && out < num_ports_);
+  auto& port = inputs_[static_cast<std::size_t>(in)];
+  SUNFLOW_CHECK_MSG(port.state == PortState::kDark,
+                    "PreEstablish on non-dark input " << in);
+  SUNFLOW_CHECK_MSG(output_owner_[static_cast<std::size_t>(out)] < 0,
+                    "PreEstablish on owned output " << out);
+  port.state = PortState::kConnected;
+  port.peer = out;
+  port.state_since = now_;
+  output_owner_[static_cast<std::size_t>(out)] = in;
+}
+
+void OpticalCircuitSwitch::AdvanceTo(Time t) {
+  SUNFLOW_CHECK_MSG(t >= now_ - kTimeEps,
+                    "switch time moved backwards: " << now_ << " -> " << t);
+  now_ = std::max(now_, t);
+  CompleteReconfigurations();
+}
+
+void OpticalCircuitSwitch::RecordTeardown(PortId in, Time at) {
+  auto& port = inputs_[static_cast<std::size_t>(in)];
+  if (port.state == PortState::kConnected) {
+    const Time light_from = port.state_since;
+    history_.push_back({in, port.peer, light_from, at});
+    light_time_[static_cast<std::size_t>(in)] += at - light_from;
+  }
+  if (port.peer >= 0) {
+    output_owner_[static_cast<std::size_t>(port.peer)] = -1;
+  }
+  port.state = PortState::kDark;
+  port.peer = -1;
+  port.state_since = at;
+}
+
+void OpticalCircuitSwitch::Apply(const SwitchCommand& command) {
+  AdvanceTo(command.at);
+  SUNFLOW_CHECK(command.in >= 0 && command.in < num_ports_);
+  auto& port = inputs_[static_cast<std::size_t>(command.in)];
+  SUNFLOW_CHECK_MSG(port.state != PortState::kConfiguring,
+                    "command to in." << command.in
+                                     << " while mirrors are in motion");
+
+  if (command.out < 0) {  // teardown
+    RecordTeardown(command.in, now_);
+    return;
+  }
+  SUNFLOW_CHECK(command.out < num_ports_);
+
+  if (command.expect_established) {
+    SUNFLOW_CHECK_MSG(port.state == PortState::kConnected &&
+                          port.peer == command.out,
+                      "carry-over claimed for [in." << command.in << ", out."
+                                                    << command.out
+                                                    << "] but circuit is "
+                                                    << ToString(port.state));
+    return;  // already connected; nothing to do
+  }
+
+  // Tear down whatever this input carried, then claim the output.
+  RecordTeardown(command.in, now_);
+  const PortId owner = output_owner_[static_cast<std::size_t>(command.out)];
+  SUNFLOW_CHECK_MSG(owner < 0,
+                    "output port " << command.out << " already owned by in."
+                                   << owner << " (port constraint)");
+  output_owner_[static_cast<std::size_t>(command.out)] = command.in;
+  port.peer = command.out;
+  port.state_since = now_;
+  if (delta_ > 0) {
+    port.state = PortState::kConfiguring;
+    port.ready_at = now_ + delta_;
+  } else {
+    port.state = PortState::kConnected;
+    port.ready_at = now_;
+  }
+  ++reconfigurations_;
+  CompleteReconfigurations();
+}
+
+bool OpticalCircuitSwitch::IsConnected(PortId in, PortId out) const {
+  SUNFLOW_CHECK(in >= 0 && in < num_ports_);
+  const auto& port = inputs_[static_cast<std::size_t>(in)];
+  return port.state == PortState::kConnected && port.peer == out;
+}
+
+PortState OpticalCircuitSwitch::InputState(PortId in) const {
+  SUNFLOW_CHECK(in >= 0 && in < num_ports_);
+  return inputs_[static_cast<std::size_t>(in)].state;
+}
+
+std::optional<PortId> OpticalCircuitSwitch::PeerOf(PortId in) const {
+  SUNFLOW_CHECK(in >= 0 && in < num_ports_);
+  const auto& port = inputs_[static_cast<std::size_t>(in)];
+  if (port.state == PortState::kDark) return std::nullopt;
+  return port.peer;
+}
+
+Time OpticalCircuitSwitch::LightTime(PortId in) const {
+  SUNFLOW_CHECK(in >= 0 && in < num_ports_);
+  Time total = light_time_[static_cast<std::size_t>(in)];
+  const auto& port = inputs_[static_cast<std::size_t>(in)];
+  if (port.state == PortState::kConnected) total += now_ - port.state_since;
+  return total;
+}
+
+std::string OpticalCircuitSwitch::DebugString() const {
+  std::ostringstream os;
+  os << "OCS{t=" << now_ << " ports=" << num_ports_;
+  for (PortId i = 0; i < num_ports_; ++i) {
+    const auto& port = inputs_[static_cast<std::size_t>(i)];
+    if (port.state == PortState::kDark) continue;
+    os << " in." << i << "->" << port.peer << "(" << ToString(port.state)
+       << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace sunflow::net

@@ -1,0 +1,121 @@
+// Stateful optical circuit switch model (§2.1, §6).
+//
+// The planner (core/sunflow.h) produces reservations against an idealized
+// Port Reservation Table. This module models the *device*: a 3D-MEMS-style
+// N-port optical space switch whose cross-connects are changed by timed
+// commands, with the not-all-stop semantics of §2.1 — reconfiguring a
+// circuit takes δ during which only the two ports involved are dark, while
+// untouched circuits keep carrying light.
+//
+// It exists so schedules can be validated against an independent
+// implementation of the switch semantics: the ScheduleDriver (driver.h)
+// compiles a schedule into commands, replays them here, and checks that
+// every byte the planner promised actually gets through.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace sunflow::net {
+
+/// State of one input port's cross-connect.
+enum class PortState {
+  kDark,         ///< no circuit configured
+  kConfiguring,  ///< mirrors in motion (δ in progress); no light passes
+  kConnected,    ///< circuit established, carrying light
+};
+
+const char* ToString(PortState s);
+
+/// A timed command to the switch control plane.
+struct SwitchCommand {
+  Time at = 0;
+  PortId in = 0;
+  /// Target output port, or -1 to tear the circuit down.
+  PortId out = -1;
+  /// Skip the reconfiguration delay because the circuit is already
+  /// physically established on this exact pair (used only by carry-over
+  /// re-installs; the device verifies the claim).
+  bool expect_established = false;
+};
+
+/// Record of a completed connectivity interval (for audits).
+struct ConnectivityRecord {
+  PortId in = 0;
+  PortId out = 0;
+  Time light_from = 0;  ///< when the circuit began carrying light
+  Time light_to = 0;    ///< when it went dark
+};
+
+/// Discrete-event optical circuit switch. Time is advanced explicitly by
+/// the caller (AdvanceTo); commands must be applied in time order.
+class OpticalCircuitSwitch {
+ public:
+  OpticalCircuitSwitch(PortId num_ports, Time reconfiguration_delay);
+
+  PortId num_ports() const { return num_ports_; }
+  Time reconfiguration_delay() const { return delta_; }
+  Time now() const { return now_; }
+
+  /// Declares a circuit as already up at the current time without paying δ
+  /// (initial condition for replays that carry circuits across plans).
+  /// Valid only while the ports involved are dark/free.
+  void PreEstablish(PortId in, PortId out);
+
+  /// Advances internal time, completing any reconfigurations that finish
+  /// by `t`. Monotonic; throws on time travel.
+  void AdvanceTo(Time t);
+
+  /// Applies a command at its timestamp (advances time there first).
+  /// Throws CheckFailure on port-constraint violations: connecting an
+  /// input to an output that is carrying another circuit, or commanding a
+  /// port that is mid-reconfiguration.
+  void Apply(const SwitchCommand& command);
+
+  /// True iff light currently passes from in to out.
+  bool IsConnected(PortId in, PortId out) const;
+
+  PortState InputState(PortId in) const;
+
+  /// The output port the input is connected (or connecting) to, if any.
+  std::optional<PortId> PeerOf(PortId in) const;
+
+  /// Completed connectivity intervals, in teardown order.
+  const std::vector<ConnectivityRecord>& history() const { return history_; }
+
+  /// Total time the given input port carried light so far.
+  Time LightTime(PortId in) const;
+
+  /// Number of reconfigurations (δ paid) so far.
+  int reconfigurations() const { return reconfigurations_; }
+
+  std::string DebugString() const;
+
+ private:
+  struct InputPort {
+    PortState state = PortState::kDark;
+    PortId peer = -1;        ///< target / current output
+    Time state_since = 0;    ///< when the current state began
+    Time ready_at = 0;       ///< for kConfiguring: when light resumes
+  };
+
+  void CompleteReconfigurations();
+  void RecordTeardown(PortId in, Time at);
+
+  PortId num_ports_;
+  Time delta_;
+  Time now_ = 0;
+  std::vector<InputPort> inputs_;
+  /// Which input currently owns each output (-1 = free). An output is
+  /// owned from the moment a connect command targets it.
+  std::vector<PortId> output_owner_;
+  std::vector<ConnectivityRecord> history_;
+  std::vector<Time> light_time_;
+  int reconfigurations_ = 0;
+};
+
+}  // namespace sunflow::net

@@ -1,0 +1,20 @@
+// Per-flow max-min fair sharing — the "TCP-like" coflow-agnostic baseline.
+//
+// Every unfinished flow in the fabric gets its max-min fair rate subject to
+// the per-port capacity constraints, with no notion of coflows at all. This
+// is the classic strawman the coflow-scheduling literature (Varys §2,
+// Aalo §2) compares against: fair per-flow sharing is typically far from
+// minimizing coflow completion times because it splits bandwidth across
+// coflows that should be serialized.
+#pragma once
+
+#include <memory>
+
+#include "packet/fabric.h"
+
+namespace sunflow::packet {
+
+/// Progressive-filling max-min fairness over all unfinished flows.
+std::unique_ptr<RateAllocator> MakeFairShareAllocator();
+
+}  // namespace sunflow::packet

@@ -1,0 +1,50 @@
+// Trace replay on the fluid packet fabric (Varys / Aalo side of §5.4).
+//
+// Event-driven: rates are piecewise constant between events. Events are
+// coflow arrivals, flow completions, coflow completions, and (for Aalo)
+// attained-service queue crossings. The allocator is re-run according to
+// its rescheduling discipline; in between, completed flows simply stop and
+// leave their bandwidth idle — the Varys behaviour §5.4 calls out.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "packet/fabric.h"
+#include "trace/coflow.h"
+
+namespace sunflow::packet {
+
+struct PacketReplayConfig {
+  Bandwidth bandwidth = Gbps(1);
+  /// Re-run the allocator when an individual flow (not the whole coflow)
+  /// completes. Varys: false (§5.4); Aalo: true (approximates its periodic
+  /// share updates).
+  bool reallocate_on_flow_completion = false;
+  /// Re-run the allocator when a coflow crosses an attained-service queue
+  /// threshold (Aalo only — pass the matching config).
+  bool track_queue_crossings = false;
+  Bytes first_queue_limit = 10e6;
+  double queue_spacing = 10.0;
+  int num_queues = 10;
+};
+
+struct PacketReplayResult {
+  /// CCT per coflow (completion − arrival).
+  std::map<CoflowId, Time> cct;
+  /// Absolute completion time per coflow.
+  std::map<CoflowId, Time> completion;
+  Time makespan = 0;
+  std::size_t reschedules = 0;
+};
+
+PacketReplayResult ReplayPacketTrace(const Trace& trace,
+                                     RateAllocator& allocator,
+                                     const PacketReplayConfig& config);
+
+/// Convenience single-coflow run (intra-level sanity: Varys on one coflow
+/// achieves exactly TpL).
+Time PacketSingleCoflowCct(const Coflow& coflow, RateAllocator& allocator,
+                           const PacketReplayConfig& config);
+
+}  // namespace sunflow::packet

@@ -1,0 +1,78 @@
+#include "packet/varys.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.h"
+
+namespace sunflow::packet {
+
+namespace {
+
+class VarysAllocator : public RateAllocator {
+ public:
+  const char* name() const override { return "Varys"; }
+
+  void Allocate(std::vector<ActiveCoflow*>& active, PortId num_ports,
+                Bandwidth bandwidth, Time /*now*/) override {
+    // SEBF: serve in order of remaining bottleneck (at full bandwidth).
+    std::vector<ActiveCoflow*> order = active;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](const ActiveCoflow* a, const ActiveCoflow* b) {
+                       const Time ta = a->RemainingTpl(bandwidth);
+                       const Time tb = b->RemainingTpl(bandwidth);
+                       if (ta != tb) return ta < tb;
+                       if (a->arrival != b->arrival)
+                         return a->arrival < b->arrival;
+                       return a->id < b->id;
+                     });
+
+    PortCapacity cap(num_ports, bandwidth);
+    for (ActiveCoflow* c : order) MaddAllocate(*c, cap);
+  }
+
+ private:
+  // MADD with residual capacities: the effective bottleneck Γ is the
+  // longest time any port needs to drain this coflow's remaining demand at
+  // the capacity left over from more prioritized coflows; every flow then
+  // gets remaining/Γ so all flows finish together at Γ.
+  static void MaddAllocate(ActiveCoflow& coflow, PortCapacity& cap) {
+    std::map<PortId, Bytes> in_load, out_load;
+    for (auto& f : coflow.flows) {
+      f.rate = 0;
+      if (f.done()) continue;
+      in_load[f.src] += f.remaining;
+      out_load[f.dst] += f.remaining;
+    }
+    Time gamma = 0;
+    bool blocked = false;
+    auto account = [&](const std::map<PortId, Bytes>& load,
+                       auto capacity_of) {
+      for (const auto& [port, bytes] : load) {
+        const Bandwidth avail = capacity_of(port);
+        if (avail <= 1e-6) {
+          blocked = true;  // a needed port is exhausted: coflow waits
+          return;
+        }
+        gamma = std::max(gamma, bytes / avail);
+      }
+    };
+    account(in_load, [&](PortId p) { return cap.in(p); });
+    if (!blocked) account(out_load, [&](PortId p) { return cap.out(p); });
+    if (blocked || gamma <= 0) return;
+
+    for (auto& f : coflow.flows) {
+      if (f.done()) continue;
+      f.rate = f.remaining / gamma;
+      cap.Consume(f.src, f.dst, f.rate);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RateAllocator> MakeVarysAllocator() {
+  return std::make_unique<VarysAllocator>();
+}
+
+}  // namespace sunflow::packet

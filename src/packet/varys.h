@@ -1,0 +1,24 @@
+// Varys (Chowdhury, Zhong, Stoica — SIGCOMM 2014): clairvoyant
+// packet-switched coflow scheduling, the main inter-Coflow comparison of
+// §5.4.
+//
+// SEBF (Smallest Effective Bottleneck First) orders coflows by their
+// remaining bottleneck completion time; MADD (Minimum Allocation for
+// Desired Duration) gives every flow of a coflow exactly the rate that
+// makes all of its flows finish together at the coflow's effective
+// bottleneck. Later coflows are backfilled with leftover capacity.
+//
+// Faithful to §5.4's discussion, rates are recomputed only on coflow
+// arrivals and completions — a subflow finishing early leaves its bandwidth
+// idle until the next rescheduling decision.
+#pragma once
+
+#include <memory>
+
+#include "packet/fabric.h"
+
+namespace sunflow::packet {
+
+std::unique_ptr<RateAllocator> MakeVarysAllocator();
+
+}  // namespace sunflow::packet

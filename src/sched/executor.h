@@ -1,0 +1,53 @@
+// Circuit-schedule executors for the two switch models of §2.1.
+//
+// Not-all-stop (the accurate optical-switch model): reconfiguring one
+// circuit costs δ on the two ports involved; unchanged circuits keep
+// transmitting, and ports progress independently (Fig 1b's staggering).
+//
+// All-stop (the conventional TSA model): every assignment change stops all
+// circuits for δ. Kept for the ablation of §3.1.2 — it shows why classic
+// algorithms need preemption to avoid idle circuits.
+//
+// Executors replay an assignment schedule against the *original* (real)
+// demand; stuffed dummy demand occupies circuit time but moves no bytes.
+// They are also validators: leftover demand after the last slot is a bug in
+// the scheduler and throws.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "sched/schedule.h"
+#include "trace/demand_matrix.h"
+
+namespace sunflow {
+
+struct FlowCompletion {
+  PortId src = 0;
+  PortId dst = 0;
+  Time finish = 0;  ///< absolute time the flow's last byte lands
+};
+
+struct ExecutionResult {
+  Time cct = 0;  ///< max flow finish − start time
+  std::vector<FlowCompletion> completions;
+  /// Number of circuit setup events that paid δ (Fig 5's switching count).
+  int circuit_setups = 0;
+  std::size_t num_slots = 0;
+  /// When the last circuit of the schedule is released (≥ cct + start).
+  Time schedule_end = 0;
+};
+
+/// Executes under the not-all-stop model. `demand` is the real (unstuffed)
+/// square demand matrix the schedule was computed for.
+ExecutionResult ExecuteNotAllStop(const DemandMatrix& demand,
+                                  const AssignmentSchedule& schedule,
+                                  Time delta, Time start = 0);
+
+/// Executes under the all-stop model (global δ whenever the assignment
+/// changes).
+ExecutionResult ExecuteAllStop(const DemandMatrix& demand,
+                               const AssignmentSchedule& schedule, Time delta,
+                               Time start = 0);
+
+}  // namespace sunflow

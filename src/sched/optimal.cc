@@ -1,0 +1,119 @@
+#include "sched/optimal.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace sunflow {
+
+namespace {
+
+struct Job {
+  PortId src = 0;
+  PortId dst = 0;
+  Time length = 0;  // δ + p
+};
+
+// Busy intervals per port, kept sorted and disjoint.
+using PortBusy = std::map<PortId, std::vector<std::pair<Time, Time>>>;
+
+// Earliest t >= 0 such that [t, t+len) is free on both ports.
+Time EarliestGap(const PortBusy& busy, const Job& job) {
+  // Merge the two ports' busy lists into one sorted list.
+  std::vector<std::pair<Time, Time>> merged;
+  for (PortId port : {job.src, job.dst}) {
+    auto it = busy.find(port);
+    if (it != busy.end())
+      merged.insert(merged.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  Time t = 0;
+  for (const auto& [begin, end] : merged) {
+    if (begin - t >= job.length - kTimeEps) return t;  // gap fits
+    t = std::max(t, end);
+  }
+  return t;
+}
+
+void Insert(std::vector<std::pair<Time, Time>>& list, Time begin, Time end) {
+  auto it = std::lower_bound(list.begin(), list.end(),
+                             std::make_pair(begin, end));
+  list.insert(it, {begin, end});
+}
+
+struct SearchState {
+  std::vector<Job> jobs;
+  std::vector<char> used;
+  PortBusy busy;
+  Time makespan = 0;
+  Time best = kTimeInf;
+  std::size_t explored = 0;
+
+  void Dfs(std::size_t placed) {
+    ++explored;
+    if (makespan >= best - kTimeEps) return;  // bound
+    if (placed == jobs.size()) {
+      best = makespan;
+      return;
+    }
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (used[j]) continue;
+      const Job& job = jobs[j];
+      const Time start = EarliestGap(busy, job);
+      const Time end = start + job.length;
+
+      used[j] = 1;
+      // src and dst never alias: outputs are keyed with an offset (see
+      // OptimalNonPreemptiveCct), since in.i and out.i are distinct ports.
+      auto& src_list = busy[job.src];
+      auto& dst_list = busy[job.dst];
+      Insert(src_list, start, end);
+      Insert(dst_list, start, end);
+      const Time saved = makespan;
+      makespan = std::max(makespan, end);
+
+      Dfs(placed + 1);
+
+      makespan = saved;
+      // Remove the two inserted intervals (they are unique values).
+      auto rm = [&](std::vector<std::pair<Time, Time>>& list) {
+        auto it = std::find(list.begin(), list.end(),
+                            std::make_pair(start, end));
+        SUNFLOW_CHECK(it != list.end());
+        list.erase(it);
+      };
+      rm(src_list);
+      rm(dst_list);
+      used[j] = 0;
+    }
+  }
+};
+
+}  // namespace
+
+OptimalResult OptimalNonPreemptiveCct(const Coflow& coflow,
+                                      Bandwidth bandwidth, Time delta,
+                                      std::size_t max_flows) {
+  SUNFLOW_CHECK(bandwidth > 0);
+  SUNFLOW_CHECK_MSG(coflow.size() <= max_flows,
+                    "optimal search is factorial; coflow has "
+                        << coflow.size() << " flows, cap is " << max_flows);
+  SearchState state;
+  state.jobs.reserve(coflow.size());
+  for (const Flow& f : coflow.flows()) {
+    // Inputs and outputs live in different port spaces: key outputs at
+    // (dst + kOutOffset) so in.i and out.i never collide.
+    constexpr PortId kOutOffset = 1 << 20;
+    state.jobs.push_back(
+        {f.src, static_cast<PortId>(f.dst + kOutOffset),
+         delta + f.bytes / bandwidth});
+  }
+  state.used.assign(state.jobs.size(), 0);
+  state.Dfs(0);
+  SUNFLOW_CHECK(state.best < kTimeInf);
+  return {state.best, state.explored};
+}
+
+}  // namespace sunflow

@@ -1,0 +1,28 @@
+// Solstice (Liu et al., "Scheduling Techniques for Hybrid Circuit/Packet
+// Networks", CoNEXT 2015) — the strongest preemptive baseline in §5.2.
+//
+// Pipeline: (1) QuickStuff pads the demand matrix into a perfect matrix
+// (equal row/column sums), preferring existing non-zero entries; the padding
+// is *dummy demand* that occupies circuits without moving coflow bytes.
+// (2) BigSlice repeatedly extracts the longest slice r = T/2^k that admits a
+// perfect matching among entries ≥ r. The result is an assignment sequence
+// executed under either circuit model.
+#pragma once
+
+#include "sched/schedule.h"
+#include "trace/demand_matrix.h"
+
+namespace sunflow {
+
+struct SolsticeConfig {
+  /// Slice-threshold floor relative to T: slices below T·rel_floor are left
+  /// to the exact BvN tail. 0 keeps halving down to numeric zero.
+  double rel_floor = 0.0;
+};
+
+/// Schedules one coflow demand matrix. `demand` must be square (call
+/// MakeSquare()); entries are processing times.
+AssignmentSchedule ScheduleSolstice(const DemandMatrix& demand,
+                                    const SolsticeConfig& config = {});
+
+}  // namespace sunflow

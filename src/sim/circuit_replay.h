@@ -1,0 +1,49 @@
+// Trace replay for Sunflow on the optical circuit switch (§5.4 and §6).
+//
+// Like Varys, Sunflow reschedules only upon coflow arrivals and completions
+// (§6): at each such instant the engine rebuilds the Port Reservation Table
+// for all active coflows in priority order (the InterCoflow procedure of
+// Algorithm 1 on remaining demand), executes that plan until the next
+// event, then replans. Circuits that are up and transmitting at a replan
+// instant can be carried over without paying δ again (configurable,
+// DESIGN.md §4.4).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/policy.h"
+#include "core/sunflow.h"
+#include "trace/coflow.h"
+
+namespace sunflow {
+
+struct CircuitReplayConfig {
+  SunflowConfig sunflow;
+  /// Re-reserve circuits that are mid-transmission at a replan instant
+  /// without a new setup δ.
+  bool carry_over_circuits = true;
+  /// Controller-load throttle (§6 scheduler-latency concern): arrivals do
+  /// not trigger a replan until at least this long after the previous one
+  /// — they queue and are admitted in a batch. Completions always replan
+  /// (required for progress). 0 = replan on every arrival, the paper's
+  /// Varys-like cadence.
+  Time min_replan_interval = 0;
+};
+
+struct CircuitReplayResult {
+  std::map<CoflowId, Time> cct;
+  std::map<CoflowId, Time> completion;  ///< absolute completion times
+  /// Total reservations issued per coflow across all plans (≥ the pure
+  /// intra switching count because replans may re-reserve).
+  std::map<CoflowId, int> reservations;
+  Time makespan = 0;
+  std::size_t replans = 0;
+};
+
+/// Replays a trace under Sunflow + the given inter-Coflow priority policy.
+CircuitReplayResult ReplayCircuitTrace(const Trace& trace,
+                                       const PriorityPolicy& policy,
+                                       const CircuitReplayConfig& config);
+
+}  // namespace sunflow

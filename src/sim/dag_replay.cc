@@ -1,0 +1,149 @@
+#include "sim/dag_replay.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "sim/replay_engine.h"
+
+namespace sunflow {
+
+void CoflowDag::AddDependency(CoflowId coflow, CoflowId dependency) {
+  SUNFLOW_CHECK_MSG(coflow != dependency, "self-dependency");
+  deps_[coflow].push_back(dependency);
+}
+
+std::map<CoflowId, int> CoflowDag::StageOf(const Trace& trace) const {
+  std::map<CoflowId, const Coflow*> by_id;
+  for (const Coflow& c : trace.coflows) by_id[c.id()] = &c;
+  for (const auto& [id, dependencies] : deps_) {
+    SUNFLOW_CHECK_MSG(by_id.count(id), "DAG references unknown coflow " << id);
+    for (CoflowId d : dependencies)
+      SUNFLOW_CHECK_MSG(by_id.count(d),
+                        "DAG references unknown dependency " << d);
+  }
+
+  std::map<CoflowId, int> stage;
+  // DFS with cycle detection (0 = unvisited, 1 = on stack, 2 = done).
+  std::map<CoflowId, int> state;
+  std::function<int(CoflowId)> depth = [&](CoflowId id) -> int {
+    auto it = stage.find(id);
+    if (it != stage.end()) return it->second;
+    SUNFLOW_CHECK_MSG(state[id] != 1, "DAG has a cycle through coflow " << id);
+    state[id] = 1;
+    int d = 0;
+    auto dep_it = deps_.find(id);
+    if (dep_it != deps_.end()) {
+      for (CoflowId dep : dep_it->second) d = std::max(d, 1 + depth(dep));
+    }
+    state[id] = 2;
+    stage[id] = d;
+    return d;
+  };
+  for (const Coflow& c : trace.coflows) depth(c.id());
+  return stage;
+}
+
+namespace {
+
+class StagePolicy : public PriorityPolicy {
+ public:
+  explicit StagePolicy(std::map<CoflowId, int> stage_of)
+      : stage_of_(std::move(stage_of)) {}
+
+  std::string name() const override { return "earlier-stage-first"; }
+
+  std::vector<std::size_t> Order(
+      const std::vector<CoflowView>& views) const override {
+    std::vector<std::size_t> order(views.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const int sa = StageOfId(views[a].id);
+                       const int sb = StageOfId(views[b].id);
+                       if (sa != sb) return sa < sb;
+                       if (views[a].remaining_tpl != views[b].remaining_tpl)
+                         return views[a].remaining_tpl <
+                                views[b].remaining_tpl;
+                       return views[a].id < views[b].id;
+                     });
+    return order;
+  }
+
+ private:
+  int StageOfId(CoflowId id) const {
+    auto it = stage_of_.find(id);
+    return it == stage_of_.end() ? 0 : it->second;
+  }
+
+  std::map<CoflowId, int> stage_of_;
+};
+
+}  // namespace
+
+std::unique_ptr<PriorityPolicy> MakeStagePolicy(
+    std::map<CoflowId, int> stage_of) {
+  return std::make_unique<StagePolicy>(std::move(stage_of));
+}
+
+DagReplayResult ReplayDagTrace(const Trace& trace, const CoflowDag& dag,
+                               const PriorityPolicy& policy,
+                               const CircuitReplayConfig& config) {
+  trace.Validate();
+  dag.StageOf(trace);  // validates ids + acyclicity
+
+  std::map<CoflowId, const Coflow*> by_id;
+  for (const Coflow& c : trace.coflows) by_id[c.id()] = &c;
+
+  // Remaining unmet dependencies per gated coflow, and the reverse edges.
+  std::map<CoflowId, std::size_t> unmet;
+  std::map<CoflowId, std::vector<CoflowId>> dependents;
+  for (const auto& [id, dependencies] : dag.deps()) {
+    unmet[id] = dependencies.size();
+    for (CoflowId d : dependencies) dependents[d].push_back(id);
+  }
+
+  std::vector<sim_detail::PendingCoflow> initial;
+  for (const Coflow& c : trace.coflows) {
+    if (unmet.find(c.id()) == unmet.end()) {
+      initial.push_back({c.arrival(), &c});
+    }
+  }
+  std::sort(initial.begin(), initial.end(),
+            [](const auto& a, const auto& b) { return a.release < b.release; });
+  SUNFLOW_CHECK_MSG(!initial.empty() || trace.coflows.empty(),
+                    "every coflow is dependency-gated — nothing can start");
+
+  DagReplayResult result;
+  auto hook = [&](CoflowId done, Time now,
+                  std::vector<sim_detail::PendingCoflow>& pending) {
+    auto it = dependents.find(done);
+    if (it == dependents.end()) return;
+    for (CoflowId dependent : it->second) {
+      auto um = unmet.find(dependent);
+      SUNFLOW_CHECK(um != unmet.end() && um->second > 0);
+      if (--um->second == 0) {
+        const Coflow* c = by_id.at(dependent);
+        pending.push_back({std::max(now, c->arrival()), c});
+      }
+    }
+  };
+
+  const auto engine_result = sim_detail::RunEngine(
+      trace.num_ports, policy, config, std::move(initial), hook);
+  SUNFLOW_CHECK_MSG(engine_result.cct.size() == trace.coflows.size(),
+                    "DAG replay finished with unreleased coflows");
+
+  result.cct = engine_result.cct;
+  result.completion = engine_result.completion;
+  Time first_arrival = kTimeInf;
+  for (const Coflow& c : trace.coflows)
+    first_arrival = std::min(first_arrival, c.arrival());
+  for (const auto& [id, completion] : engine_result.completion) {
+    result.release[id] = completion - engine_result.cct.at(id);
+  }
+  result.job_span = engine_result.makespan -
+                    (trace.coflows.empty() ? 0 : first_arrival);
+  return result;
+}
+
+}  // namespace sunflow

@@ -1,0 +1,47 @@
+#include "sim/hybrid_replay.h"
+
+#include "common/assert.h"
+#include "packet/replay.h"
+#include "packet/varys.h"
+
+namespace sunflow {
+
+HybridReplayResult ReplayHybridTrace(const Trace& trace,
+                                     const PriorityPolicy& policy,
+                                     const HybridReplayConfig& config) {
+  SUNFLOW_CHECK(config.packet_bandwidth > 0);
+  Trace circuit_side, packet_side;
+  circuit_side.num_ports = trace.num_ports;
+  packet_side.num_ports = trace.num_ports;
+  for (const Coflow& c : trace.coflows) {
+    if (c.total_bytes() <= config.offload_threshold) {
+      packet_side.coflows.push_back(c);
+    } else {
+      circuit_side.coflows.push_back(c);
+    }
+  }
+
+  HybridReplayResult result;
+  result.offloaded = packet_side.coflows.size();
+  result.circuit = circuit_side.coflows.size();
+
+  if (!circuit_side.coflows.empty()) {
+    const auto circuit_result =
+        ReplayCircuitTrace(circuit_side, policy, config.circuit);
+    result.cct.insert(circuit_result.cct.begin(), circuit_result.cct.end());
+  }
+  if (!packet_side.coflows.empty()) {
+    // The companion packet network is coflow-scheduled too (the offloaded
+    // traffic is small, so SEBF+MADD is a natural choice there).
+    packet::PacketReplayConfig pc;
+    pc.bandwidth = config.packet_bandwidth;
+    auto varys = packet::MakeVarysAllocator();
+    const auto packet_result =
+        packet::ReplayPacketTrace(packet_side, *varys, pc);
+    result.cct.insert(packet_result.cct.begin(), packet_result.cct.end());
+  }
+  SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
+  return result;
+}
+
+}  // namespace sunflow

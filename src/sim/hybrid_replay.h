@@ -1,0 +1,38 @@
+// Hybrid circuit/packet replay (§6, REACToR-style).
+//
+// §6 notes that a deployment can pair the OCS with "a small-bandwidth
+// packet switched network to help accommodate the little leftover traffic".
+// This engine models that architecture: coflows whose total demand is below
+// an offload threshold bypass the circuit switch entirely and drain on a
+// low-rate packet fabric (fair-shared per port), while everything else is
+// Sunflow-scheduled on the OCS. Short coflows thus dodge the circuit setup
+// penalty that dominates their CCT in the pure-OCS results (Fig 9).
+#pragma once
+
+#include "core/policy.h"
+#include "sim/circuit_replay.h"
+
+namespace sunflow {
+
+struct HybridReplayConfig {
+  CircuitReplayConfig circuit;
+  /// Bandwidth of the companion packet network (paper suggests "small" —
+  /// default one tenth of the circuit link rate).
+  Bandwidth packet_bandwidth = Gbps(0.1);
+  /// Coflows with total bytes at or below this go to the packet network.
+  Bytes offload_threshold = 10e6;
+};
+
+struct HybridReplayResult {
+  std::map<CoflowId, Time> cct;
+  std::size_t offloaded = 0;  ///< coflows served by the packet network
+  std::size_t circuit = 0;    ///< coflows served by the OCS
+};
+
+/// Splits the trace by the offload rule, replays each side on its own
+/// fabric (they are physically separate networks), and merges CCTs.
+HybridReplayResult ReplayHybridTrace(const Trace& trace,
+                                     const PriorityPolicy& policy,
+                                     const HybridReplayConfig& config);
+
+}  // namespace sunflow

@@ -1,0 +1,32 @@
+// Internal: the generic circuit-replay engine shared by the plain trace
+// replay (sim/circuit_replay.h) and the dependency-gated DAG replay
+// (sim/dag_replay.h). Most users want those wrappers, not this.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/policy.h"
+#include "sim/circuit_replay.h"
+
+namespace sunflow::sim_detail {
+
+/// A coflow waiting for its release instant.
+struct PendingCoflow {
+  Time release = 0;
+  const Coflow* coflow = nullptr;
+};
+
+/// Called when a coflow completes; may append newly released coflows
+/// (dependency gating). The engine re-sorts the unconsumed tail afterwards.
+using CompletionHook =
+    std::function<void(CoflowId, Time, std::vector<PendingCoflow>&)>;
+
+/// The plan → execute-until-next-event → replan loop. `pending` must be
+/// sorted by release time. CCTs are measured from each coflow's release.
+CircuitReplayResult RunEngine(PortId num_ports, const PriorityPolicy& policy,
+                              const CircuitReplayConfig& config,
+                              std::vector<PendingCoflow> pending,
+                              const CompletionHook& on_complete);
+
+}  // namespace sunflow::sim_detail

@@ -1,0 +1,38 @@
+// Demand-oblivious fixed-rotation baseline ("rotor" scheduling).
+//
+// The starvation guard's Φ assignment family (§4.2) can also be used as a
+// complete scheduler: rotate through A_1 … A_N forever, paying δ per
+// rotation, with no knowledge of demand at all. This is the logical
+// extreme of schedule-less optical switching (later productized by
+// RotorNet-style designs) and makes a sharp ablation: how much does
+// Sunflow's demand-awareness actually buy over blind rotation on the same
+// hardware?
+#pragma once
+
+#include <map>
+
+#include "core/starvation.h"
+#include "trace/coflow.h"
+
+namespace sunflow {
+
+struct RotorReplayConfig {
+  Bandwidth bandwidth = Gbps(1);
+  Time delta = Millis(10);
+  /// How long each assignment stays up (excluding the δ to install it).
+  Time slot_duration = Millis(90);
+};
+
+struct RotorReplayResult {
+  std::map<CoflowId, Time> cct;
+  std::map<CoflowId, Time> completion;
+  Time makespan = 0;
+};
+
+/// Replays the trace under blind Φ rotation: during each slot, every
+/// circuit (i, (i+k) mod N) serves the flows queued on that pair, sharing
+/// the link bandwidth equally (all coflows alike — there is no priority).
+RotorReplayResult ReplayRotorTrace(const Trace& trace,
+                                   const RotorReplayConfig& config);
+
+}  // namespace sunflow

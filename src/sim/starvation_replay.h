@@ -1,0 +1,34 @@
+// Replay with the starvation-avoidance guard of §4.2.
+//
+// Time is divided into recurring (T + τ) intervals. During each T span the
+// normal InterCoflow plan runs (replanned on arrivals/completions, cut at
+// the span boundary). During each τ span the fixed assignment A_k ∈ Φ is
+// installed (round-robin over spans): each circuit of A_k pays one setup δ
+// and then serves *all* coflows with demand on that port pair, sharing the
+// link bandwidth equally — so every coflow receives non-zero service within
+// any N(T + τ) window regardless of its priority.
+#pragma once
+
+#include <map>
+
+#include "core/policy.h"
+#include "core/starvation.h"
+#include "sim/circuit_replay.h"
+
+namespace sunflow {
+
+struct GuardedReplayResult {
+  std::map<CoflowId, Time> cct;
+  std::map<CoflowId, Time> completion;
+  /// Longest stretch a coflow waited between arrival/service events while
+  /// it still had demand (bounded by N(T+τ) when the guard is on and the
+  /// coflow has demand on some Φ circuit).
+  std::map<CoflowId, Time> max_service_gap;
+  Time makespan = 0;
+};
+
+GuardedReplayResult ReplayWithStarvationGuard(
+    const Trace& trace, const PriorityPolicy& policy,
+    const CircuitReplayConfig& config, const StarvationGuardConfig& guard);
+
+}  // namespace sunflow

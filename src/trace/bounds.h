@@ -1,0 +1,23 @@
+// CCT lower bounds (§2.4, Equations 1–4).
+//
+// TpL — packet-switched bound: the busiest port's total processing time.
+// TcL — circuit-switched bound under the *not-all-stop* model: every
+//        non-empty flow additionally pays one reconfiguration δ.
+#pragma once
+
+#include "common/units.h"
+#include "trace/coflow.h"
+
+namespace sunflow {
+
+/// Equation (2): max over ports of summed processing time.
+Time PacketLowerBound(const Coflow& coflow, Bandwidth bandwidth);
+
+/// Equations (3)+(4): max over ports of summed (processing time + δ).
+Time CircuitLowerBound(const Coflow& coflow, Bandwidth bandwidth, Time delta);
+
+/// α = δ / min(d_ij / B) — the Lemma 2 constant for a coflow. The Lemma 2
+/// guarantee is TS ≤ 2(1+α)·TpL.
+double LemmaTwoAlpha(const Coflow& coflow, Bandwidth bandwidth, Time delta);
+
+}  // namespace sunflow

@@ -1,0 +1,121 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sunflow {
+
+namespace {
+
+// MB-rounded with a 1 MB floor, matching the original trace's granularity.
+Bytes RoundedMb(double mb) { return MB(std::max(1.0, std::round(mb))); }
+
+// Draws a fan width in [2, num_ports] with a Pareto tail.
+int DrawWidth(Rng& rng, const SyntheticTraceConfig& cfg) {
+  const double w =
+      rng.Pareto(cfg.width_pareto_scale, cfg.width_pareto_shape);
+  return static_cast<int>(
+      std::clamp(w, 2.0, static_cast<double>(cfg.num_ports)));
+}
+
+}  // namespace
+
+Trace GenerateSyntheticTrace(const SyntheticTraceConfig& cfg) {
+  SUNFLOW_CHECK(cfg.num_ports >= 2);
+  SUNFLOW_CHECK(cfg.num_coflows >= 0);
+  Rng rng(cfg.seed);
+  Trace trace;
+  trace.num_ports = cfg.num_ports;
+
+  const double frac_m2m = 1.0 - cfg.frac_one_to_one - cfg.frac_one_to_many -
+                          cfg.frac_many_to_one;
+  SUNFLOW_CHECK_MSG(frac_m2m >= 0, "category fractions exceed 1");
+  const std::vector<double> mix = {cfg.frac_one_to_one, cfg.frac_one_to_many,
+                                   cfg.frac_many_to_one, frac_m2m};
+
+  // Poisson arrivals: exponential gaps with mean horizon / num_coflows.
+  const double gap_mean =
+      cfg.num_coflows > 0 ? cfg.horizon / cfg.num_coflows : 1.0;
+
+  Time arrival = 0;
+  for (int k = 0; k < cfg.num_coflows; ++k) {
+    arrival += rng.Exponential(gap_mean);
+    const auto category = static_cast<CoflowCategory>(rng.Categorical(mix));
+
+    int senders = 1, receivers = 1;
+    switch (category) {
+      case CoflowCategory::kOneToOne:
+        break;
+      case CoflowCategory::kOneToMany:
+        receivers = DrawWidth(rng, cfg);
+        break;
+      case CoflowCategory::kManyToOne:
+        senders = DrawWidth(rng, cfg);
+        break;
+      case CoflowCategory::kManyToMany:
+        senders = DrawWidth(rng, cfg);
+        receivers = DrawWidth(rng, cfg);
+        break;
+    }
+    const auto src_ports = rng.SampleWithoutReplacement(cfg.num_ports, senders);
+    const auto dst_ports =
+        rng.SampleWithoutReplacement(cfg.num_ports, receivers);
+
+    std::vector<Flow> flows;
+    flows.reserve(static_cast<std::size_t>(senders) *
+                  static_cast<std::size_t>(receivers));
+    if (category == CoflowCategory::kManyToMany) {
+      // Shuffle-like: each reducer receives a heavy-tailed total, split
+      // evenly across mappers (mirrors the benchmark format semantics).
+      for (PortId dst : dst_ports) {
+        const double total_mb = std::min(
+            cfg.m2m_flow_mb_cap * senders,
+            rng.Pareto(cfg.m2m_flow_mb_scale * senders, cfg.m2m_flow_mb_shape));
+        for (PortId src : src_ports) {
+          flows.push_back({src, dst, RoundedMb(total_mb / senders)});
+        }
+      }
+    } else {
+      for (PortId src : src_ports) {
+        for (PortId dst : dst_ports) {
+          flows.push_back(
+              {src, dst, RoundedMb(rng.Exponential(cfg.small_flow_mb_mean))});
+        }
+      }
+    }
+    trace.coflows.emplace_back(static_cast<CoflowId>(k + 1), arrival,
+                               std::move(flows));
+  }
+  trace.Validate();
+  return trace;
+}
+
+Trace PerturbFlowSizes(const Trace& trace, double fraction, Bytes min_bytes,
+                       std::uint64_t seed) {
+  SUNFLOW_CHECK(fraction >= 0 && fraction < 1);
+  Rng rng(seed);
+  Trace out;
+  out.num_ports = trace.num_ports;
+  out.coflows.reserve(trace.coflows.size());
+  for (const Coflow& c : trace.coflows) {
+    std::vector<Flow> flows = c.flows();
+    for (Flow& f : flows) {
+      f.bytes = std::max(min_bytes,
+                         f.bytes * (1.0 + rng.Uniform(-fraction, fraction)));
+    }
+    out.coflows.emplace_back(c.id(), c.arrival(), std::move(flows));
+  }
+  out.Validate();
+  return out;
+}
+
+Trace ToBackToBack(const Trace& trace) {
+  Trace out;
+  out.num_ports = trace.num_ports;
+  out.coflows.reserve(trace.coflows.size());
+  for (const Coflow& c : trace.coflows)
+    out.coflows.push_back(c.WithArrival(0));
+  return out;
+}
+
+}  // namespace sunflow

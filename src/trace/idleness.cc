@@ -1,0 +1,76 @@
+#include "trace/idleness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/intervals.h"
+#include "trace/bounds.h"
+
+namespace sunflow {
+
+double NetworkIdleness(const Trace& trace, Bandwidth bandwidth) {
+  if (trace.coflows.empty()) return 0;
+  IntervalSet active;
+  Time first = kTimeInf, last = 0;
+  for (const Coflow& c : trace.coflows) {
+    const Time tpl = PacketLowerBound(c, bandwidth);
+    active.Add(c.arrival(), c.arrival() + tpl);
+    first = std::min(first, c.arrival());
+    last = std::max(last, c.arrival() + tpl);
+  }
+  const Time horizon = last - first;
+  if (horizon <= kTimeEps) return 0;
+  const Time busy = active.UnionLengthWithin(first, last);
+  return std::clamp(1.0 - busy / horizon, 0.0, 1.0);
+}
+
+Trace ScaleTraceBytes(const Trace& trace, double factor) {
+  Trace out;
+  out.num_ports = trace.num_ports;
+  out.coflows.reserve(trace.coflows.size());
+  for (const Coflow& c : trace.coflows)
+    out.coflows.push_back(c.ScaledBytes(factor));
+  return out;
+}
+
+ScaledTrace ScaleTraceToIdleness(const Trace& trace, Bandwidth bandwidth,
+                                 double target_idleness, double tolerance) {
+  SUNFLOW_CHECK(target_idleness >= 0 && target_idleness < 1);
+  SUNFLOW_CHECK(!trace.coflows.empty());
+
+  // Idleness is monotone non-increasing in the byte factor: bisect on
+  // log-factor. Bounds wide enough for any realistic trace.
+  double lo = 1e-6, hi = 1e6;
+  auto idleness_at = [&](double factor) {
+    return NetworkIdleness(ScaleTraceBytes(trace, factor), bandwidth);
+  };
+
+  // Ensure the bracket actually straddles the target.
+  if (idleness_at(lo) < target_idleness) {
+    // Even near-zero bytes cannot reach this idleness (arrivals too dense
+    // relative to the horizon granularity) — return the best effort.
+    Trace scaled = ScaleTraceBytes(trace, lo);
+    return {std::move(scaled), lo, idleness_at(lo)};
+  }
+  if (idleness_at(hi) > target_idleness) {
+    Trace scaled = ScaleTraceBytes(trace, hi);
+    return {std::move(scaled), hi, idleness_at(hi)};
+  }
+
+  double factor = 1.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    factor = std::sqrt(lo * hi);  // geometric midpoint
+    const double idle = idleness_at(factor);
+    if (std::fabs(idle - target_idleness) <= tolerance) break;
+    if (idle > target_idleness) {
+      lo = factor;  // too idle -> need more bytes
+    } else {
+      hi = factor;
+    }
+  }
+  Trace scaled = ScaleTraceBytes(trace, factor);
+  const double achieved = NetworkIdleness(scaled, bandwidth);
+  return {std::move(scaled), factor, achieved};
+}
+
+}  // namespace sunflow

@@ -1,0 +1,36 @@
+// Network-idleness metric and byte scaling (§5.4).
+//
+// A coflow is "active" from its arrival t_arr to t_arr + TpL(B). Idleness is
+// the fraction of the horizon with no active coflow. The metric is
+// scheduler-independent and is the upper bound on true network idle time.
+// To evaluate under a target idleness the paper scales coflow byte sizes
+// (preserving structure); ScaleTraceToIdleness binary-searches that factor.
+#pragma once
+
+#include "common/units.h"
+#include "trace/coflow.h"
+
+namespace sunflow {
+
+/// Fraction of [first arrival, max(t_arr + TpL)] not covered by any
+/// coflow's active interval. Returns 0 for an empty trace.
+double NetworkIdleness(const Trace& trace, Bandwidth bandwidth);
+
+/// Returns the trace with every coflow's bytes multiplied by `factor`.
+Trace ScaleTraceBytes(const Trace& trace, double factor);
+
+/// Finds (by bisection on the byte-scale factor) a trace whose idleness is
+/// within `tolerance` of `target_idleness`, and returns it together with
+/// the factor used. Larger factor -> longer active intervals -> lower
+/// idleness (monotone), so bisection is exact up to tolerance.
+struct ScaledTrace {
+  Trace trace;
+  double factor = 1.0;
+  double achieved_idleness = 0.0;
+};
+
+ScaledTrace ScaleTraceToIdleness(const Trace& trace, Bandwidth bandwidth,
+                                 double target_idleness,
+                                 double tolerance = 0.005);
+
+}  // namespace sunflow

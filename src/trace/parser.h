@@ -1,0 +1,33 @@
+// Parser for the public coflow-benchmark trace format
+// (github.com/coflow/coflow-benchmark, e.g. FB2010-1Hr-150-0.txt), the
+// workload used in §5.1.
+//
+// File format:
+//   line 1:  <num_ports> <num_coflows>
+//   line k:  <id> <arrival_ms> <M> <mapper_1> ... <mapper_M>
+//            <R> <reducer_1>:<MB_1> ... <reducer_R>:<MB_R>
+// Ports in the file are 1-based rack numbers; each reducer r receives
+// MB_r megabytes in total, split evenly across the M mappers (the
+// interpretation used by the Varys/Aalo simulators and by the Sunflow
+// authors' simulator).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/coflow.h"
+
+namespace sunflow {
+
+/// Parses a trace from a stream. Throws std::runtime_error on malformed
+/// input (with the offending line number).
+Trace ParseCoflowBenchmark(std::istream& in);
+
+/// Parses a trace file from disk.
+Trace ParseCoflowBenchmarkFile(const std::string& path);
+
+/// Serializes a trace back into the benchmark format (bytes rounded to MB).
+/// Round-trips with ParseCoflowBenchmark for MB-granular traces.
+void WriteCoflowBenchmark(std::ostream& out, const Trace& trace);
+
+}  // namespace sunflow

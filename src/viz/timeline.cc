@@ -1,0 +1,140 @@
+#include "viz/timeline.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace sunflow::viz {
+
+namespace {
+
+Time Horizon(const std::vector<CircuitReservation>& reservations,
+             const TimelineOptions& options) {
+  if (options.horizon > 0) return options.horizon;
+  Time h = 0;
+  for (const auto& r : reservations) h = std::max(h, r.end);
+  return h > 0 ? h : 1.0;
+}
+
+std::map<PortId, std::vector<const CircuitReservation*>> Lanes(
+    const std::vector<CircuitReservation>& reservations) {
+  std::map<PortId, std::vector<const CircuitReservation*>> lanes;
+  for (const auto& r : reservations) lanes[r.in].push_back(&r);
+  for (auto& [port, list] : lanes) {
+    std::sort(list.begin(), list.end(),
+              [](const CircuitReservation* a, const CircuitReservation* b) {
+                return a->start < b->start;
+              });
+  }
+  return lanes;
+}
+
+// A small qualitative palette, cycled by coflow id.
+const char* ColorFor(CoflowId id) {
+  static const char* kPalette[] = {"#4e79a7", "#f28e2b", "#59a14f",
+                                   "#e15759", "#b07aa1", "#76b7b2",
+                                   "#edc948", "#ff9da7"};
+  const auto idx = static_cast<std::size_t>(
+      (id < 0 ? -id : id) % static_cast<CoflowId>(std::size(kPalette)));
+  return kPalette[idx];
+}
+
+}  // namespace
+
+void WriteTimelineSvg(std::ostream& out,
+                      const std::vector<CircuitReservation>& reservations,
+                      const TimelineOptions& options) {
+  const Time horizon = Horizon(reservations, options);
+  const auto lanes = Lanes(reservations);
+  const int label_width = 60;
+  const int plot_width = options.width_px - label_width - 10;
+  const int height =
+      static_cast<int>(lanes.size()) * options.lane_height_px + 40;
+
+  auto x_of = [&](Time t) {
+    return label_width +
+           plot_width * std::clamp(t / horizon, 0.0, 1.0);
+  };
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.width_px << "\" height=\"" << height
+      << "\" font-family=\"monospace\" font-size=\"11\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  int lane_index = 0;
+  for (const auto& [port, list] : lanes) {
+    const int y = 10 + lane_index * options.lane_height_px;
+    out << "<text x=\"4\" y=\"" << y + options.lane_height_px * 2 / 3
+        << "\">in." << port << "</text>\n";
+    for (const CircuitReservation* r : list) {
+      const double x0 = x_of(r->start);
+      const double xs = x_of(r->transmit_begin());
+      const double x1 = x_of(r->end);
+      // δ span: dark gray.
+      if (xs > x0 + 0.01) {
+        out << "<rect x=\"" << x0 << "\" y=\"" << y << "\" width=\""
+            << xs - x0 << "\" height=\"" << options.lane_height_px - 4
+            << "\" fill=\"#555\"/>\n";
+      }
+      // Transmit span: coflow color, labelled with the output port.
+      out << "<rect x=\"" << xs << "\" y=\"" << y << "\" width=\""
+          << std::max(0.5, x1 - xs) << "\" height=\""
+          << options.lane_height_px - 4 << "\" fill=\"" << ColorFor(r->coflow)
+          << "\" stroke=\"#333\" stroke-width=\"0.4\"/>\n";
+      if (options.label_coflows && x1 - xs > 24) {
+        out << "<text x=\"" << xs + 3 << "\" y=\""
+            << y + options.lane_height_px * 2 / 3
+            << "\" fill=\"white\">o" << r->out << "/c" << r->coflow
+            << "</text>\n";
+      }
+    }
+    ++lane_index;
+  }
+  // Time axis.
+  const int axis_y = height - 18;
+  out << "<line x1=\"" << label_width << "\" y1=\"" << axis_y << "\" x2=\""
+      << label_width + plot_width << "\" y2=\"" << axis_y
+      << "\" stroke=\"#333\"/>\n";
+  for (int tick = 0; tick <= 4; ++tick) {
+    const Time t = horizon * tick / 4;
+    out << "<text x=\"" << x_of(t) << "\" y=\"" << axis_y + 14 << "\">"
+        << t << "s</text>\n";
+  }
+  out << "</svg>\n";
+}
+
+std::string RenderTimelineAscii(
+    const std::vector<CircuitReservation>& reservations,
+    const TimelineOptions& options) {
+  const Time horizon = Horizon(reservations, options);
+  const auto lanes = Lanes(reservations);
+  const int width = std::max(8, options.ascii_width);
+
+  std::ostringstream os;
+  for (const auto& [port, list] : lanes) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const CircuitReservation* r : list) {
+      const int a =
+          static_cast<int>(r->start / horizon * width);
+      const int setup_end = std::max(
+          a, static_cast<int>(r->transmit_begin() / horizon * width));
+      const int b = std::max(
+          a + 1,
+          static_cast<int>(std::min(r->end / horizon, 1.0) * width));
+      const long long label =
+          options.label_coflows ? r->coflow : static_cast<long long>(r->out);
+      for (int x = a; x < b && x < width; ++x) {
+        row[static_cast<std::size_t>(x)] =
+            x < setup_end ? '#'
+                          : static_cast<char>('0' + (label % 10 + 10) % 10);
+      }
+    }
+    os << "  in." << port << (port < 10 ? "  |" : " |") << row << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace sunflow::viz

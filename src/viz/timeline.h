@@ -1,0 +1,38 @@
+// Schedule timeline rendering (Fig 1 / Fig 2 style).
+//
+// Renders a reservation list as a per-input-port Gantt chart — the visual
+// language of the paper's Figures 1c and 2 — either as standalone SVG (for
+// docs and debugging) or as ASCII (for terminals). Reconfiguration δ spans
+// are hatched/darkened; transmit spans are colored per coflow.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/reservation.h"
+
+namespace sunflow::viz {
+
+struct TimelineOptions {
+  int width_px = 900;        ///< SVG drawing width
+  int lane_height_px = 22;   ///< per input port
+  int ascii_width = 72;      ///< ASCII columns for the time axis
+  bool label_coflows = true;
+  /// Horizon; 0 = max reservation end.
+  Time horizon = 0;
+};
+
+/// Writes a standalone SVG document.
+void WriteTimelineSvg(std::ostream& out,
+                      const std::vector<CircuitReservation>& reservations,
+                      const TimelineOptions& options = {});
+
+/// Renders an ASCII Gantt (one lane per input port with any reservation).
+/// '#' marks reconfiguration; the transmit span shows the output port's
+/// last digit (label_coflows=false) or the coflow id's last digit.
+std::string RenderTimelineAscii(
+    const std::vector<CircuitReservation>& reservations,
+    const TimelineOptions& options = {});
+
+}  // namespace sunflow::viz

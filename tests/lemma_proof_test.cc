@@ -1,0 +1,167 @@
+// Tests the *structure* of the Lemma 1 proof (paper appendix), not just
+// its conclusion: for every port, Sunflow's schedule keeps
+//   (a) total busy time ≤ TcL (the port never serves more than its own
+//       demand in Equation-3 terms), and
+//   (b) total idle time before the port finishes ≤ TcL (Equation 5: while
+//       a port starves, all output ports it still needs are transmitting,
+//       so the gap sum is bounded by the busiest peer's demand).
+// Together these give the factor-of-two bound (Equation 6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "core/sunflow.h"
+#include "trace/bounds.h"
+#include "trace/generator.h"
+
+namespace sunflow {
+namespace {
+
+SunflowConfig Config(Time delta = Millis(10)) {
+  SunflowConfig c;
+  c.bandwidth = Gbps(1);
+  c.delta = delta;
+  return c;
+}
+
+struct PortUsage {
+  Time busy = 0;
+  Time finish = 0;
+  Time first_start = kTimeInf;
+};
+
+// Accumulates per-port busy time and finish from a reservation list.
+std::pair<std::map<PortId, PortUsage>, std::map<PortId, PortUsage>> Usage(
+    const std::vector<CircuitReservation>& reservations) {
+  std::map<PortId, PortUsage> in, out;
+  for (const auto& r : reservations) {
+    for (auto* side : {&in[r.in], &out[r.out]}) {
+      side->busy += r.length();
+      side->finish = std::max(side->finish, r.end);
+      side->first_start = std::min(side->first_start, r.start);
+    }
+  }
+  return {std::move(in), std::move(out)};
+}
+
+Coflow RandomCoflow(Rng& rng, PortId ports, int width) {
+  const int s = 1 + static_cast<int>(rng.UniformInt(0, width - 1));
+  const int d = 1 + static_cast<int>(rng.UniformInt(0, width - 1));
+  const auto srcs = rng.SampleWithoutReplacement(ports, s);
+  const auto dsts = rng.SampleWithoutReplacement(ports, d);
+  std::vector<Flow> flows;
+  for (PortId a : srcs)
+    for (PortId b : dsts)
+      if (rng.Bernoulli(0.7)) flows.push_back({a, b, MB(rng.Uniform(1, 80))});
+  if (flows.empty()) flows.push_back({srcs[0], dsts[0], MB(2)});
+  return Coflow(1, 0.0, std::move(flows));
+}
+
+class LemmaProofInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(LemmaProofInvariants, PerPortBusyAndIdleBounds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 400);
+  const PortId ports = 12;
+  const Coflow c = RandomCoflow(rng, ports, 7);
+  const SunflowConfig cfg = Config();
+  const Time tcl = CircuitLowerBound(c, cfg.bandwidth, cfg.delta);
+
+  const auto schedule = ScheduleSingleCoflow(c, ports, cfg);
+  const auto [in_usage, out_usage] = Usage(schedule.reservations);
+
+  auto check_side = [&](const std::map<PortId, PortUsage>& usage) {
+    for (const auto& [port, u] : usage) {
+      // (a) Busy time on a port is exactly the port's own Equation-3 load,
+      //     hence ≤ TcL (no preemption means no re-paid δ in pure intra).
+      EXPECT_LE(u.busy, tcl + kTimeEps) << "port " << port;
+      // (b) Idle time before the port finishes is bounded by TcL.
+      const Time idle = u.finish - u.busy;  // schedule starts at 0
+      EXPECT_LE(idle, tcl + kTimeEps) << "port " << port;
+      // (Equation 6) finish = busy + idle ≤ 2 TcL.
+      EXPECT_LE(u.finish, 2 * tcl + kTimeEps) << "port " << port;
+    }
+  };
+  check_side(in_usage);
+  check_side(out_usage);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaProofInvariants, ::testing::Range(0, 30));
+
+TEST(LemmaProof, BusyTimeEqualsEquationThreeLoad) {
+  // Pure intra scheduling: each port's busy time equals Σ (p_ij + δ) over
+  // its flows — exactly the summand of Equation 4.
+  Rng rng(55);
+  const PortId ports = 10;
+  const Coflow c = RandomCoflow(rng, ports, 6);
+  const SunflowConfig cfg = Config();
+  const auto schedule = ScheduleSingleCoflow(c, ports, cfg);
+  const auto [in_usage, out_usage] = Usage(schedule.reservations);
+
+  std::map<PortId, Time> in_load, out_load;
+  for (const Flow& f : c.flows()) {
+    const Time t = f.bytes / cfg.bandwidth + cfg.delta;
+    in_load[f.src] += t;
+    out_load[f.dst] += t;
+  }
+  for (const auto& [port, load] : in_load)
+    EXPECT_NEAR(in_usage.at(port).busy, load, 1e-9);
+  for (const auto& [port, load] : out_load)
+    EXPECT_NEAR(out_usage.at(port).busy, load, 1e-9);
+}
+
+TEST(LemmaProof, IdleGapsOnlyWhileNeededPeersBusy) {
+  // The core argument of Equation 5: whenever an input port with pending
+  // demand sits idle, every output port it still needs is busy. Verify on
+  // a concrete schedule by scanning the PRT timelines.
+  Rng rng(56);
+  const PortId ports = 8;
+  const Coflow c = RandomCoflow(rng, ports, 5);
+  const SunflowConfig cfg = Config();
+
+  SunflowPlanner planner(ports, cfg);
+  SunflowSchedule schedule;
+  planner.ScheduleOne(PlanRequest::FromCoflow(c, cfg.bandwidth, 0.0),
+                      schedule);
+  const auto& prt = planner.prt();
+
+  // For each input port, walk its reservation gaps; during a gap, at least
+  // one of the outputs it has not yet served must be mid-reservation.
+  std::map<PortId, std::vector<CircuitReservation>> in_res;
+  for (const auto& r : prt.reservations()) in_res[r.in].push_back(r);
+  for (auto& [port, list] : in_res) {
+    std::sort(list.begin(), list.end(),
+              [](const auto& a, const auto& b) { return a.start < b.start; });
+    for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+      const Time gap_begin = list[i].end;
+      const Time gap_end = list[i + 1].start;
+      if (gap_end <= gap_begin + kTimeEps) continue;
+      const Time probe = (gap_begin + gap_end) / 2;
+      // Outputs still needed: destinations of reservations after the gap.
+      bool some_needed_output_busy = false;
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        if (!prt.OutputFreeAt(list[j].out, probe))
+          some_needed_output_busy = true;
+      }
+      EXPECT_TRUE(some_needed_output_busy)
+          << "in." << port << " idles at t=" << probe
+          << " with all needed outputs free — the greedy invariant broke";
+    }
+  }
+}
+
+TEST(LemmaProof, HoldsAcrossDeltaRegimes) {
+  Rng rng(57);
+  for (double delta : {0.0, 1e-5, 1e-3, 0.1, 10.0}) {
+    const Coflow c = RandomCoflow(rng, 10, 6);
+    const SunflowConfig cfg = Config(delta);
+    const Time tcl = CircuitLowerBound(c, cfg.bandwidth, cfg.delta);
+    const auto schedule = ScheduleSingleCoflow(c, 10, cfg);
+    EXPECT_LE(schedule.completion_time.at(1), 2 * tcl + kTimeEps)
+        << "delta=" << delta;
+  }
+}
+
+}  // namespace
+}  // namespace sunflow

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sunflow.h"
+#include "net/driver.h"
+#include "net/ocs.h"
+
+namespace sunflow::net {
+namespace {
+
+using sunflow::Coflow;
+using sunflow::Flow;
+
+constexpr Time kDelta = 0.01;
+
+TEST(Ocs, ConnectTakesDelta) {
+  OpticalCircuitSwitch sw(4, kDelta);
+  sw.Apply({0.0, 0, 1, false});
+  EXPECT_EQ(sw.InputState(0), PortState::kConfiguring);
+  EXPECT_FALSE(sw.IsConnected(0, 1));
+  sw.AdvanceTo(kDelta);
+  EXPECT_EQ(sw.InputState(0), PortState::kConnected);
+  EXPECT_TRUE(sw.IsConnected(0, 1));
+  EXPECT_EQ(sw.reconfigurations(), 1);
+}
+
+TEST(Ocs, NotAllStopIndependence) {
+  // Reconfiguring in.0 must not darken in.1's circuit.
+  OpticalCircuitSwitch sw(4, kDelta);
+  sw.Apply({0.0, 1, 2, false});
+  sw.AdvanceTo(kDelta);
+  ASSERT_TRUE(sw.IsConnected(1, 2));
+  sw.Apply({0.5, 0, 3, false});
+  EXPECT_TRUE(sw.IsConnected(1, 2));  // untouched circuit keeps carrying
+  EXPECT_EQ(sw.InputState(0), PortState::kConfiguring);
+}
+
+TEST(Ocs, PortConstraintEnforced) {
+  OpticalCircuitSwitch sw(4, kDelta);
+  sw.Apply({0.0, 0, 2, false});
+  // Another input claiming the same output violates the constraint.
+  EXPECT_THROW(sw.Apply({0.005, 1, 2, false}), CheckFailure);
+}
+
+TEST(Ocs, CommandDuringReconfigurationRejected) {
+  OpticalCircuitSwitch sw(4, kDelta);
+  sw.Apply({0.0, 0, 1, false});
+  EXPECT_THROW(sw.Apply({0.005, 0, 2, false}), CheckFailure);
+}
+
+TEST(Ocs, TeardownFreesOutput) {
+  OpticalCircuitSwitch sw(4, kDelta);
+  sw.Apply({0.0, 0, 2, false});
+  sw.AdvanceTo(1.0);
+  sw.Apply({1.0, 0, -1, false});
+  EXPECT_EQ(sw.InputState(0), PortState::kDark);
+  sw.Apply({1.0, 1, 2, false});  // now allowed
+  sw.AdvanceTo(1.0 + kDelta);
+  EXPECT_TRUE(sw.IsConnected(1, 2));
+}
+
+TEST(Ocs, HistoryAndLightTime) {
+  OpticalCircuitSwitch sw(4, kDelta);
+  sw.Apply({0.0, 0, 1, false});
+  sw.AdvanceTo(2.0);
+  sw.Apply({2.0, 0, -1, false});
+  ASSERT_EQ(sw.history().size(), 1u);
+  const auto& rec = sw.history()[0];
+  EXPECT_EQ(rec.in, 0);
+  EXPECT_EQ(rec.out, 1);
+  EXPECT_NEAR(rec.light_from, kDelta, 1e-12);
+  EXPECT_NEAR(rec.light_to, 2.0, 1e-12);
+  EXPECT_NEAR(sw.LightTime(0), 2.0 - kDelta, 1e-12);
+}
+
+TEST(Ocs, PreEstablishSkipsDelta) {
+  OpticalCircuitSwitch sw(4, kDelta);
+  sw.PreEstablish(0, 1);
+  EXPECT_TRUE(sw.IsConnected(0, 1));
+  EXPECT_EQ(sw.reconfigurations(), 0);
+  // A carry-over command on the pair is a no-op.
+  sw.Apply({0.0, 0, 1, true});
+  EXPECT_TRUE(sw.IsConnected(0, 1));
+  EXPECT_EQ(sw.reconfigurations(), 0);
+}
+
+TEST(Ocs, CarryOverClaimVerified) {
+  OpticalCircuitSwitch sw(4, kDelta);
+  // Claiming an established circuit that is not there must throw.
+  EXPECT_THROW(sw.Apply({0.0, 0, 1, true}), CheckFailure);
+}
+
+TEST(Ocs, TimeTravelRejected) {
+  OpticalCircuitSwitch sw(4, kDelta);
+  sw.AdvanceTo(5.0);
+  EXPECT_THROW(sw.AdvanceTo(4.0), CheckFailure);
+}
+
+TEST(Ocs, ZeroDeltaConnectsInstantly) {
+  OpticalCircuitSwitch sw(4, 0.0);
+  sw.Apply({0.0, 0, 1, false});
+  EXPECT_TRUE(sw.IsConnected(0, 1));
+}
+
+// ---- Driver: planner output executes faithfully on the device. ----
+
+SunflowConfig Config() {
+  SunflowConfig c;
+  c.bandwidth = Gbps(1);
+  c.delta = Millis(10);
+  return c;
+}
+
+TEST(Driver, SingleFlowDeliversExactly) {
+  const Coflow c(1, 0, {{0, 1, MB(100)}});
+  const auto schedule = ScheduleSingleCoflow(c, 4, Config());
+  const auto result = ExecuteOnSwitch(schedule, 4, Config());
+  result.VerifyAgainst(schedule, Config().bandwidth);
+  EXPECT_NEAR(result.delivered.at({1, 0, 1}), MB(100), 1.0);
+  EXPECT_EQ(result.reconfigurations, 1);
+}
+
+TEST(Driver, Figure1ShuffleExecutes) {
+  std::vector<Flow> flows;
+  for (PortId i = 0; i < 5; ++i) {
+    flows.push_back({i, 5, MB(10 + 7 * i)});
+    flows.push_back({i, 6, MB(12 + 3 * i)});
+  }
+  const Coflow c(1, 0, std::move(flows));
+  const auto schedule = ScheduleSingleCoflow(c, 7, Config());
+  const auto result = ExecuteOnSwitch(schedule, 7, Config());
+  result.VerifyAgainst(schedule, Config().bandwidth);
+  EXPECT_EQ(result.reconfigurations, 10);
+}
+
+TEST(Driver, InterCoflowPlanExecutes) {
+  const Coflow high(1, 0, {{0, 2, MB(50)}, {1, 2, MB(30)}});
+  const Coflow low(2, 0, {{0, 2, MB(100)}, {0, 3, MB(80)}});
+  SunflowPlanner planner(4, Config());
+  const auto plan = planner.ScheduleAll(
+      {PlanRequest::FromCoflow(high, Gbps(1), 0.0),
+       PlanRequest::FromCoflow(low, Gbps(1), 0.0)});
+  const auto result = ExecuteOnSwitch(plan, 4, Config());
+  result.VerifyAgainst(plan, Config().bandwidth);
+}
+
+TEST(Driver, EstablishedCircuitSkipsSetup) {
+  // Plan with a carried-over circuit: the driver pre-establishes it and
+  // the device never pays δ for that pair.
+  const Coflow c(1, 0, {{0, 1, MB(100)}});
+  SunflowPlanner planner(4, Config());
+  planner.SetEstablishedCircuits({{0, 1}}, 0.0);
+  SunflowSchedule schedule;
+  planner.ScheduleOne(PlanRequest::FromCoflow(c, Gbps(1), 0.0), schedule);
+  schedule.reservations = planner.prt().reservations();
+  ASSERT_EQ(schedule.reservations.size(), 1u);
+  EXPECT_DOUBLE_EQ(schedule.reservations[0].setup, 0.0);
+
+  const auto result = ExecuteOnSwitch(schedule, 4, Config(), {{0, 1}});
+  result.VerifyAgainst(schedule, Config().bandwidth);
+  EXPECT_EQ(result.reconfigurations, 0);
+}
+
+TEST(Driver, RandomPlansExecuteFaithfully) {
+  Rng rng(91);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = 6 + static_cast<int>(rng.UniformInt(0, 6));
+    std::vector<Flow> flows;
+    for (PortId s = 0; s < n; ++s)
+      for (PortId d = 0; d < n; ++d)
+        if (rng.Bernoulli(0.4))
+          flows.push_back({s, d, MB(rng.Uniform(1, 40))});
+    if (flows.empty()) flows.push_back({0, 0, MB(5)});
+    const Coflow c(1, 0, std::move(flows));
+    const auto schedule =
+        ScheduleSingleCoflow(c, static_cast<PortId>(n), Config());
+    const auto result =
+        ExecuteOnSwitch(schedule, static_cast<PortId>(n), Config());
+    result.VerifyAgainst(schedule, Config().bandwidth);
+    // Pure intra: one setup per flow on the device too.
+    EXPECT_EQ(result.reconfigurations, static_cast<int>(c.size()));
+  }
+}
+
+TEST(Driver, CommandCompilationOrdersTeardownsFirst) {
+  std::vector<CircuitReservation> reservations = {
+      {0, 1, 0.0, 1.0, 0.01, 1},
+      {2, 1, 1.0, 2.0, 0.01, 1},  // claims out.1 the instant it frees
+  };
+  const auto commands = CompileCommands(reservations, /*delta=*/0.01);
+  ASSERT_EQ(commands.size(), 4u);
+  // At t=1.0: teardown of in.0 must precede connect of in.2.
+  EXPECT_NEAR(commands[1].at, 1.0, 1e-12);
+  EXPECT_LT(commands[1].out, 0);
+  EXPECT_NEAR(commands[2].at, 1.0, 1e-12);
+  EXPECT_EQ(commands[2].out, 1);
+}
+
+}  // namespace
+}  // namespace sunflow::net

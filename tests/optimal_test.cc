@@ -1,0 +1,127 @@
+// The exact optimal reference: sanity on closed-form cases, and the
+// measured optimality gap of Sunflow against the true (non-preemptive)
+// optimum — the comparison the paper could not make (§2.4: "the optimal
+// achievable CCT may be much larger than the lower bound").
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/sunflow.h"
+#include "sched/optimal.h"
+#include "trace/bounds.h"
+
+namespace sunflow {
+namespace {
+
+constexpr Time kDelta = 0.01;
+constexpr Bandwidth kB = Gbps(1);
+
+Time Opt(const Coflow& c) {
+  return OptimalNonPreemptiveCct(c, kB, kDelta).makespan;
+}
+
+TEST(Optimal, SingleFlow) {
+  const Coflow c(1, 0, {{0, 1, MB(100)}});
+  EXPECT_NEAR(Opt(c), kDelta + 0.8, 1e-9);
+}
+
+TEST(Optimal, SerialOnSharedPort) {
+  // Two flows from the same input port must serialize.
+  const Coflow c(1, 0, {{0, 1, MB(50)}, {0, 2, MB(25)}});
+  EXPECT_NEAR(Opt(c), 2 * kDelta + 0.6, 1e-9);
+}
+
+TEST(Optimal, ParallelOnDisjointPorts) {
+  const Coflow c(1, 0, {{0, 1, MB(50)}, {2, 3, MB(25)}});
+  EXPECT_NEAR(Opt(c), kDelta + 0.4, 1e-9);
+}
+
+TEST(Optimal, TwoByTwoShuffleOverlapsPerfectly) {
+  // 2x2 uniform shuffle: optimal interleaves into two rounds.
+  const Coflow c(1, 0,
+                 {{0, 2, MB(50)}, {0, 3, MB(50)}, {1, 2, MB(50)}, {1, 3, MB(50)}});
+  // Each port carries 2 flows: TcL = 2(δ + 0.4) and it is achievable.
+  EXPECT_NEAR(Opt(c), 2 * (kDelta + 0.4), 1e-9);
+}
+
+TEST(Optimal, NeverBelowCircuitLowerBound) {
+  Rng rng(111);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Flow> flows;
+    const int k = 2 + static_cast<int>(rng.UniformInt(0, 4));
+    for (int f = 0; f < k; ++f) {
+      const PortId s = static_cast<PortId>(rng.UniformInt(0, 4));
+      const PortId d = static_cast<PortId>(rng.UniformInt(0, 4));
+      bool dup = false;
+      for (const auto& e : flows)
+        if (e.src == s && e.dst == d) dup = true;
+      if (!dup) flows.push_back({s, d, MB(rng.Uniform(1, 60))});
+    }
+    const Coflow c(1, 0, std::move(flows));
+    const Time opt = Opt(c);
+    EXPECT_GE(opt, CircuitLowerBound(c, kB, kDelta) - 1e-9)
+        << c.DebugString();
+  }
+}
+
+TEST(Optimal, RejectsOversizedCoflows) {
+  std::vector<Flow> flows;
+  for (PortId i = 0; i < 4; ++i)
+    for (PortId j = 0; j < 4; ++j) flows.push_back({i, j, MB(1)});
+  const Coflow c(1, 0, std::move(flows));  // 16 flows
+  EXPECT_THROW(OptimalNonPreemptiveCct(c, kB, kDelta), CheckFailure);
+}
+
+// The headline measurement: Sunflow's true optimality gap on random small
+// coflows. The paper proves <= 2x and observes ~1.03x against the lower
+// bound; against the exact optimum the gap must sit in between.
+TEST(Optimal, SunflowGapAgainstTrueOptimum) {
+  Rng rng(112);
+  SunflowConfig cfg;
+  cfg.delta = kDelta;
+  std::vector<double> gaps;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Flow> flows;
+    const int k = 3 + static_cast<int>(rng.UniformInt(0, 4));  // 3..7 flows
+    for (int f = 0; f < k; ++f) {
+      const PortId s = static_cast<PortId>(rng.UniformInt(0, 5));
+      const PortId d = static_cast<PortId>(rng.UniformInt(0, 5));
+      bool dup = false;
+      for (const auto& e : flows)
+        if (e.src == s && e.dst == d) dup = true;
+      if (!dup) flows.push_back({s, d, MB(rng.Uniform(1, 80))});
+    }
+    const Coflow c(1, 0, std::move(flows));
+    const Time opt = Opt(c);
+    const auto schedule = ScheduleSingleCoflow(c, 6, cfg);
+    const Time sunflow_cct = schedule.completion_time.at(1);
+
+    ASSERT_GE(sunflow_cct, opt - 1e-9) << c.DebugString();
+    ASSERT_LE(sunflow_cct, 2 * opt + 1e-9) << c.DebugString();
+    gaps.push_back(sunflow_cct / opt);
+  }
+  // On realistic small instances the greedy is close to exactly optimal.
+  EXPECT_LT(stats::Mean(gaps), 1.10);
+  EXPECT_LT(stats::Percentile(gaps, 95), 1.35);
+}
+
+TEST(Optimal, BranchAndBoundPrunes) {
+  // The bound should keep explored nodes well under k! for a 7-flow case.
+  std::vector<Flow> flows;
+  Rng rng(113);
+  while (flows.size() < 7) {
+    const PortId s = static_cast<PortId>(rng.UniformInt(0, 4));
+    const PortId d = static_cast<PortId>(rng.UniformInt(0, 4));
+    bool dup = false;
+    for (const auto& e : flows)
+      if (e.src == s && e.dst == d) dup = true;
+    if (!dup) flows.push_back({s, d, MB(rng.Uniform(1, 40))});
+  }
+  const Coflow c(1, 0, std::move(flows));
+  const auto result = OptimalNonPreemptiveCct(c, kB, kDelta);
+  EXPECT_LT(result.explored, 5040u * 7u);  // far below full enumeration
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace sunflow

@@ -1,0 +1,144 @@
+// sunflow_trace_tool — inspect, generate, scale and convert coflow traces.
+//
+// Subcommands (first positional argument):
+//   info      print fabric size, classification (Table 4 view), idleness,
+//             size distributions
+//   generate  write a synthetic FB-like trace in coflow-benchmark format
+//   scale     rescale a trace's bytes to a target network idleness
+//   bounds    per-coflow TpL / TcL listing (CSV on stdout)
+//
+// Examples:
+//   sunflow_trace_tool info --trace=FB2010-1Hr-150-0.txt
+//   sunflow_trace_tool generate --coflows=526 --out=/tmp/synth.txt
+//   sunflow_trace_tool scale --trace=... --idleness=0.4 --out=/tmp/scaled.txt
+//   sunflow_trace_tool bounds --trace=... --bandwidth_gbps=10
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "exp/classify.h"
+#include "trace/bounds.h"
+#include "trace/generator.h"
+#include "trace/idleness.h"
+#include "trace/parser.h"
+
+using namespace sunflow;
+
+namespace {
+
+Trace Load(CliFlags& flags) {
+  const std::string path = flags.GetString("trace", "", "input trace file");
+  if (!path.empty()) return ParseCoflowBenchmarkFile(path);
+  SyntheticTraceConfig cfg;
+  cfg.num_coflows =
+      static_cast<int>(flags.GetInt("coflows", 526, "synthetic coflows"));
+  cfg.num_ports =
+      static_cast<PortId>(flags.GetInt("ports", 150, "fabric ports"));
+  cfg.seed = static_cast<std::uint64_t>(
+      flags.GetInt("seed", 20161212, "synthetic seed"));
+  Trace t = GenerateSyntheticTrace(cfg);
+  const double perturb = flags.GetDouble("perturb", 0.05, "size perturbation");
+  if (perturb > 0) t = PerturbFlowSizes(t, perturb, MB(1), cfg.seed + 1);
+  return t;
+}
+
+int Info(CliFlags& flags) {
+  const Trace trace = Load(flags);
+  const Bandwidth b = Gbps(flags.GetDouble("bandwidth_gbps", 1, "link rate"));
+
+  std::printf("ports: %d\ncoflows: %zu\ntotal bytes: %.2f GB\n",
+              trace.num_ports, trace.coflows.size(),
+              trace.total_bytes() / 1e9);
+  std::printf("network idleness at %.0f Gbps: %.1f%%\n",
+              b * 8 / 1e9, NetworkIdleness(trace, b) * 100);
+
+  const auto breakdown = exp::ClassifyTrace(trace);
+  TextTable table("Classification (Table 4 view)");
+  table.SetHeader({"", "O2O", "O2M", "M2O", "M2M"});
+  std::vector<std::string> row1 = {"Coflow%"}, row2 = {"Bytes%"};
+  for (const auto& share : breakdown) {
+    row1.push_back(TextTable::Fmt(share.coflow_fraction * 100, 1));
+    row2.push_back(TextTable::Fmt(share.byte_fraction * 100, 3));
+  }
+  table.AddRow(row1);
+  table.AddRow(row2);
+  table.Print(std::cout);
+
+  std::vector<double> sizes, widths;
+  for (const Coflow& c : trace.coflows) {
+    sizes.push_back(c.total_bytes());
+    widths.push_back(static_cast<double>(c.size()));
+  }
+  std::printf("coflow bytes: %s\n",
+              stats::ToString(stats::Summarize(sizes)).c_str());
+  std::printf("coflow |C|  : %s\n",
+              stats::ToString(stats::Summarize(widths)).c_str());
+  return 0;
+}
+
+int Generate(CliFlags& flags) {
+  const Trace trace = Load(flags);
+  const std::string out = flags.GetString("out", "", "output file");
+  if (out.empty()) {
+    std::cerr << "generate: --out=<file> required\n";
+    return 2;
+  }
+  std::ofstream f(out);
+  WriteCoflowBenchmark(f, trace);
+  std::printf("wrote %zu coflows to %s\n", trace.coflows.size(),
+              out.c_str());
+  return 0;
+}
+
+int Scale(CliFlags& flags) {
+  const Trace trace = Load(flags);
+  const Bandwidth b = Gbps(flags.GetDouble("bandwidth_gbps", 1, "link rate"));
+  const double target = flags.GetDouble("idleness", 0.4, "target idleness");
+  const std::string out = flags.GetString("out", "", "output file");
+  const auto scaled = ScaleTraceToIdleness(trace, b, target);
+  std::printf("byte factor %.4f -> idleness %.1f%%\n", scaled.factor,
+              scaled.achieved_idleness * 100);
+  if (!out.empty()) {
+    std::ofstream f(out);
+    WriteCoflowBenchmark(f, scaled.trace);
+    std::printf("wrote scaled trace to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int Bounds(CliFlags& flags) {
+  const Trace trace = Load(flags);
+  const Bandwidth b = Gbps(flags.GetDouble("bandwidth_gbps", 1, "link rate"));
+  const Time delta =
+      Millis(flags.GetDouble("delta_ms", 10, "reconfiguration delay"));
+  std::printf("coflow_id,category,flows,bytes,tpl_seconds,tcl_seconds\n");
+  for (const Coflow& c : trace.coflows) {
+    std::printf("%lld,%s,%zu,%.0f,%.6f,%.6f\n",
+                static_cast<long long>(c.id()), ToString(c.category()),
+                c.size(), c.total_bytes(), PacketLowerBound(c, b),
+                CircuitLowerBound(c, b, delta));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const auto& positional = flags.positional();
+  const std::string cmd = positional.empty() ? "info" : positional[0];
+  try {
+    if (cmd == "info") return Info(flags);
+    if (cmd == "generate") return Generate(flags);
+    if (cmd == "scale") return Scale(flags);
+    if (cmd == "bounds") return Bounds(flags);
+    std::cerr << "unknown subcommand '" << cmd
+              << "' (expected info|generate|scale|bounds)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
