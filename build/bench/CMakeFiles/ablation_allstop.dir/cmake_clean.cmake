@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_allstop.dir/ablation_allstop.cc.o"
+  "CMakeFiles/ablation_allstop.dir/ablation_allstop.cc.o.d"
+  "ablation_allstop"
+  "ablation_allstop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allstop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_delta_inter.dir/fig10_delta_inter.cc.o"
+  "CMakeFiles/fig10_delta_inter.dir/fig10_delta_inter.cc.o.d"
+  "fig10_delta_inter"
+  "fig10_delta_inter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_delta_inter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_intra_vs_tcl.dir/fig3_intra_vs_tcl.cc.o"
+  "CMakeFiles/fig3_intra_vs_tcl.dir/fig3_intra_vs_tcl.cc.o.d"
+  "fig3_intra_vs_tcl"
+  "fig3_intra_vs_tcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_intra_vs_tcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_switching.dir/fig5_switching.cc.o"
+  "CMakeFiles/fig5_switching.dir/fig5_switching.cc.o.d"
+  "fig5_switching"
+  "fig5_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

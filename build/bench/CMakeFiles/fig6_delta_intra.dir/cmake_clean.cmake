@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_delta_intra.dir/fig6_delta_intra.cc.o"
+  "CMakeFiles/fig6_delta_intra.dir/fig6_delta_intra.cc.o.d"
+  "fig6_delta_intra"
+  "fig6_delta_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_delta_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_vs_tpl.dir/fig7_vs_tpl.cc.o"
+  "CMakeFiles/fig7_vs_tpl.dir/fig7_vs_tpl.cc.o.d"
+  "fig7_vs_tpl"
+  "fig7_vs_tpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vs_tpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

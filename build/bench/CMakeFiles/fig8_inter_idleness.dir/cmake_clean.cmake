@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_inter_idleness.dir/fig8_inter_idleness.cc.o"
+  "CMakeFiles/fig8_inter_idleness.dir/fig8_inter_idleness.cc.o.d"
+  "fig8_inter_idleness"
+  "fig8_inter_idleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_inter_idleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cct_diff.dir/fig9_cct_diff.cc.o"
+  "CMakeFiles/fig9_cct_diff.dir/fig9_cct_diff.cc.o.d"
+  "fig9_cct_diff"
+  "fig9_cct_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cct_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_offload.dir/hybrid_offload.cc.o"
+  "CMakeFiles/hybrid_offload.dir/hybrid_offload.cc.o.d"
+  "hybrid_offload"
+  "hybrid_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_sensitivity.dir/ordering_sensitivity.cc.o"
+  "CMakeFiles/ordering_sensitivity.dir/ordering_sensitivity.cc.o.d"
+  "ordering_sensitivity"
+  "ordering_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

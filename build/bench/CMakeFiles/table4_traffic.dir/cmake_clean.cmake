@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_traffic.dir/table4_traffic.cc.o"
+  "CMakeFiles/table4_traffic.dir/table4_traffic.cc.o.d"
+  "table4_traffic"
+  "table4_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

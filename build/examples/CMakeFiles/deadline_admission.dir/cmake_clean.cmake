@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_admission.dir/deadline_admission.cpp.o"
+  "CMakeFiles/deadline_admission.dir/deadline_admission.cpp.o.d"
+  "deadline_admission"
+  "deadline_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistage_job.dir/multistage_job.cpp.o"
+  "CMakeFiles/multistage_job.dir/multistage_job.cpp.o.d"
+  "multistage_job"
+  "multistage_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistage_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

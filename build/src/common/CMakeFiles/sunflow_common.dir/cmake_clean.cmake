@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_common.dir/cli.cc.o"
+  "CMakeFiles/sunflow_common.dir/cli.cc.o.d"
+  "CMakeFiles/sunflow_common.dir/intervals.cc.o"
+  "CMakeFiles/sunflow_common.dir/intervals.cc.o.d"
+  "CMakeFiles/sunflow_common.dir/rng.cc.o"
+  "CMakeFiles/sunflow_common.dir/rng.cc.o.d"
+  "CMakeFiles/sunflow_common.dir/stats.cc.o"
+  "CMakeFiles/sunflow_common.dir/stats.cc.o.d"
+  "CMakeFiles/sunflow_common.dir/table.cc.o"
+  "CMakeFiles/sunflow_common.dir/table.cc.o.d"
+  "libsunflow_common.a"
+  "libsunflow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

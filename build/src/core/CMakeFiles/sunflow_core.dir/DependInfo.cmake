@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cc" "src/core/CMakeFiles/sunflow_core.dir/admission.cc.o" "gcc" "src/core/CMakeFiles/sunflow_core.dir/admission.cc.o.d"
+  "/root/repo/src/core/components.cc" "src/core/CMakeFiles/sunflow_core.dir/components.cc.o" "gcc" "src/core/CMakeFiles/sunflow_core.dir/components.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/sunflow_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/sunflow_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/prt.cc" "src/core/CMakeFiles/sunflow_core.dir/prt.cc.o" "gcc" "src/core/CMakeFiles/sunflow_core.dir/prt.cc.o.d"
+  "/root/repo/src/core/schedule_io.cc" "src/core/CMakeFiles/sunflow_core.dir/schedule_io.cc.o" "gcc" "src/core/CMakeFiles/sunflow_core.dir/schedule_io.cc.o.d"
+  "/root/repo/src/core/starvation.cc" "src/core/CMakeFiles/sunflow_core.dir/starvation.cc.o" "gcc" "src/core/CMakeFiles/sunflow_core.dir/starvation.cc.o.d"
+  "/root/repo/src/core/sunflow.cc" "src/core/CMakeFiles/sunflow_core.dir/sunflow.cc.o" "gcc" "src/core/CMakeFiles/sunflow_core.dir/sunflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sunflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sunflow_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_core.dir/admission.cc.o"
+  "CMakeFiles/sunflow_core.dir/admission.cc.o.d"
+  "CMakeFiles/sunflow_core.dir/components.cc.o"
+  "CMakeFiles/sunflow_core.dir/components.cc.o.d"
+  "CMakeFiles/sunflow_core.dir/policy.cc.o"
+  "CMakeFiles/sunflow_core.dir/policy.cc.o.d"
+  "CMakeFiles/sunflow_core.dir/prt.cc.o"
+  "CMakeFiles/sunflow_core.dir/prt.cc.o.d"
+  "CMakeFiles/sunflow_core.dir/schedule_io.cc.o"
+  "CMakeFiles/sunflow_core.dir/schedule_io.cc.o.d"
+  "CMakeFiles/sunflow_core.dir/starvation.cc.o"
+  "CMakeFiles/sunflow_core.dir/starvation.cc.o.d"
+  "CMakeFiles/sunflow_core.dir/sunflow.cc.o"
+  "CMakeFiles/sunflow_core.dir/sunflow.cc.o.d"
+  "libsunflow_core.a"
+  "libsunflow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

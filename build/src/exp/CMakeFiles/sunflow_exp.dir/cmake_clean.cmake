@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_exp.dir/classify.cc.o"
+  "CMakeFiles/sunflow_exp.dir/classify.cc.o.d"
+  "CMakeFiles/sunflow_exp.dir/csv_export.cc.o"
+  "CMakeFiles/sunflow_exp.dir/csv_export.cc.o.d"
+  "CMakeFiles/sunflow_exp.dir/inter_runner.cc.o"
+  "CMakeFiles/sunflow_exp.dir/inter_runner.cc.o.d"
+  "CMakeFiles/sunflow_exp.dir/intra_runner.cc.o"
+  "CMakeFiles/sunflow_exp.dir/intra_runner.cc.o.d"
+  "libsunflow_exp.a"
+  "libsunflow_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_matching.dir/bipartite.cc.o"
+  "CMakeFiles/sunflow_matching.dir/bipartite.cc.o.d"
+  "CMakeFiles/sunflow_matching.dir/decomposition.cc.o"
+  "CMakeFiles/sunflow_matching.dir/decomposition.cc.o.d"
+  "libsunflow_matching.a"
+  "libsunflow_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

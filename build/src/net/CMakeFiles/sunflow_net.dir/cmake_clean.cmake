@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_net.dir/driver.cc.o"
+  "CMakeFiles/sunflow_net.dir/driver.cc.o.d"
+  "CMakeFiles/sunflow_net.dir/ocs.cc.o"
+  "CMakeFiles/sunflow_net.dir/ocs.cc.o.d"
+  "libsunflow_net.a"
+  "libsunflow_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

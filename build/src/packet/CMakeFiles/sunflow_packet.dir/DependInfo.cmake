@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/aalo.cc" "src/packet/CMakeFiles/sunflow_packet.dir/aalo.cc.o" "gcc" "src/packet/CMakeFiles/sunflow_packet.dir/aalo.cc.o.d"
+  "/root/repo/src/packet/fabric.cc" "src/packet/CMakeFiles/sunflow_packet.dir/fabric.cc.o" "gcc" "src/packet/CMakeFiles/sunflow_packet.dir/fabric.cc.o.d"
+  "/root/repo/src/packet/fair_share.cc" "src/packet/CMakeFiles/sunflow_packet.dir/fair_share.cc.o" "gcc" "src/packet/CMakeFiles/sunflow_packet.dir/fair_share.cc.o.d"
+  "/root/repo/src/packet/replay.cc" "src/packet/CMakeFiles/sunflow_packet.dir/replay.cc.o" "gcc" "src/packet/CMakeFiles/sunflow_packet.dir/replay.cc.o.d"
+  "/root/repo/src/packet/varys.cc" "src/packet/CMakeFiles/sunflow_packet.dir/varys.cc.o" "gcc" "src/packet/CMakeFiles/sunflow_packet.dir/varys.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sunflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sunflow_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_packet.dir/aalo.cc.o"
+  "CMakeFiles/sunflow_packet.dir/aalo.cc.o.d"
+  "CMakeFiles/sunflow_packet.dir/fabric.cc.o"
+  "CMakeFiles/sunflow_packet.dir/fabric.cc.o.d"
+  "CMakeFiles/sunflow_packet.dir/fair_share.cc.o"
+  "CMakeFiles/sunflow_packet.dir/fair_share.cc.o.d"
+  "CMakeFiles/sunflow_packet.dir/replay.cc.o"
+  "CMakeFiles/sunflow_packet.dir/replay.cc.o.d"
+  "CMakeFiles/sunflow_packet.dir/varys.cc.o"
+  "CMakeFiles/sunflow_packet.dir/varys.cc.o.d"
+  "libsunflow_packet.a"
+  "libsunflow_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

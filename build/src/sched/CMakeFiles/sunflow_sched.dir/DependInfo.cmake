@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/edmonds.cc" "src/sched/CMakeFiles/sunflow_sched.dir/edmonds.cc.o" "gcc" "src/sched/CMakeFiles/sunflow_sched.dir/edmonds.cc.o.d"
+  "/root/repo/src/sched/executor.cc" "src/sched/CMakeFiles/sunflow_sched.dir/executor.cc.o" "gcc" "src/sched/CMakeFiles/sunflow_sched.dir/executor.cc.o.d"
+  "/root/repo/src/sched/optimal.cc" "src/sched/CMakeFiles/sunflow_sched.dir/optimal.cc.o" "gcc" "src/sched/CMakeFiles/sunflow_sched.dir/optimal.cc.o.d"
+  "/root/repo/src/sched/solstice.cc" "src/sched/CMakeFiles/sunflow_sched.dir/solstice.cc.o" "gcc" "src/sched/CMakeFiles/sunflow_sched.dir/solstice.cc.o.d"
+  "/root/repo/src/sched/tms.cc" "src/sched/CMakeFiles/sunflow_sched.dir/tms.cc.o" "gcc" "src/sched/CMakeFiles/sunflow_sched.dir/tms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matching/CMakeFiles/sunflow_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sunflow_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

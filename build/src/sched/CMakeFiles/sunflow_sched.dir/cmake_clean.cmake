@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_sched.dir/edmonds.cc.o"
+  "CMakeFiles/sunflow_sched.dir/edmonds.cc.o.d"
+  "CMakeFiles/sunflow_sched.dir/executor.cc.o"
+  "CMakeFiles/sunflow_sched.dir/executor.cc.o.d"
+  "CMakeFiles/sunflow_sched.dir/optimal.cc.o"
+  "CMakeFiles/sunflow_sched.dir/optimal.cc.o.d"
+  "CMakeFiles/sunflow_sched.dir/solstice.cc.o"
+  "CMakeFiles/sunflow_sched.dir/solstice.cc.o.d"
+  "CMakeFiles/sunflow_sched.dir/tms.cc.o"
+  "CMakeFiles/sunflow_sched.dir/tms.cc.o.d"
+  "libsunflow_sched.a"
+  "libsunflow_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/circuit_replay.cc" "src/sim/CMakeFiles/sunflow_sim.dir/circuit_replay.cc.o" "gcc" "src/sim/CMakeFiles/sunflow_sim.dir/circuit_replay.cc.o.d"
+  "/root/repo/src/sim/dag_replay.cc" "src/sim/CMakeFiles/sunflow_sim.dir/dag_replay.cc.o" "gcc" "src/sim/CMakeFiles/sunflow_sim.dir/dag_replay.cc.o.d"
+  "/root/repo/src/sim/hybrid_replay.cc" "src/sim/CMakeFiles/sunflow_sim.dir/hybrid_replay.cc.o" "gcc" "src/sim/CMakeFiles/sunflow_sim.dir/hybrid_replay.cc.o.d"
+  "/root/repo/src/sim/rotor_replay.cc" "src/sim/CMakeFiles/sunflow_sim.dir/rotor_replay.cc.o" "gcc" "src/sim/CMakeFiles/sunflow_sim.dir/rotor_replay.cc.o.d"
+  "/root/repo/src/sim/starvation_replay.cc" "src/sim/CMakeFiles/sunflow_sim.dir/starvation_replay.cc.o" "gcc" "src/sim/CMakeFiles/sunflow_sim.dir/starvation_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sunflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sunflow_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sunflow_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

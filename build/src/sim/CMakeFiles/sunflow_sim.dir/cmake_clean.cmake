@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_sim.dir/circuit_replay.cc.o"
+  "CMakeFiles/sunflow_sim.dir/circuit_replay.cc.o.d"
+  "CMakeFiles/sunflow_sim.dir/dag_replay.cc.o"
+  "CMakeFiles/sunflow_sim.dir/dag_replay.cc.o.d"
+  "CMakeFiles/sunflow_sim.dir/hybrid_replay.cc.o"
+  "CMakeFiles/sunflow_sim.dir/hybrid_replay.cc.o.d"
+  "CMakeFiles/sunflow_sim.dir/rotor_replay.cc.o"
+  "CMakeFiles/sunflow_sim.dir/rotor_replay.cc.o.d"
+  "CMakeFiles/sunflow_sim.dir/starvation_replay.cc.o"
+  "CMakeFiles/sunflow_sim.dir/starvation_replay.cc.o.d"
+  "libsunflow_sim.a"
+  "libsunflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

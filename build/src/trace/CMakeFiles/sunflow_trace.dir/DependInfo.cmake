@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/bounds.cc" "src/trace/CMakeFiles/sunflow_trace.dir/bounds.cc.o" "gcc" "src/trace/CMakeFiles/sunflow_trace.dir/bounds.cc.o.d"
+  "/root/repo/src/trace/coflow.cc" "src/trace/CMakeFiles/sunflow_trace.dir/coflow.cc.o" "gcc" "src/trace/CMakeFiles/sunflow_trace.dir/coflow.cc.o.d"
+  "/root/repo/src/trace/demand_matrix.cc" "src/trace/CMakeFiles/sunflow_trace.dir/demand_matrix.cc.o" "gcc" "src/trace/CMakeFiles/sunflow_trace.dir/demand_matrix.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/trace/CMakeFiles/sunflow_trace.dir/generator.cc.o" "gcc" "src/trace/CMakeFiles/sunflow_trace.dir/generator.cc.o.d"
+  "/root/repo/src/trace/idleness.cc" "src/trace/CMakeFiles/sunflow_trace.dir/idleness.cc.o" "gcc" "src/trace/CMakeFiles/sunflow_trace.dir/idleness.cc.o.d"
+  "/root/repo/src/trace/parser.cc" "src/trace/CMakeFiles/sunflow_trace.dir/parser.cc.o" "gcc" "src/trace/CMakeFiles/sunflow_trace.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sunflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_trace.dir/bounds.cc.o"
+  "CMakeFiles/sunflow_trace.dir/bounds.cc.o.d"
+  "CMakeFiles/sunflow_trace.dir/coflow.cc.o"
+  "CMakeFiles/sunflow_trace.dir/coflow.cc.o.d"
+  "CMakeFiles/sunflow_trace.dir/demand_matrix.cc.o"
+  "CMakeFiles/sunflow_trace.dir/demand_matrix.cc.o.d"
+  "CMakeFiles/sunflow_trace.dir/generator.cc.o"
+  "CMakeFiles/sunflow_trace.dir/generator.cc.o.d"
+  "CMakeFiles/sunflow_trace.dir/idleness.cc.o"
+  "CMakeFiles/sunflow_trace.dir/idleness.cc.o.d"
+  "CMakeFiles/sunflow_trace.dir/parser.cc.o"
+  "CMakeFiles/sunflow_trace.dir/parser.cc.o.d"
+  "libsunflow_trace.a"
+  "libsunflow_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_viz.dir/timeline.cc.o"
+  "CMakeFiles/sunflow_viz.dir/timeline.cc.o.d"
+  "libsunflow_viz.a"
+  "libsunflow_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_hybrid_test.dir/dag_hybrid_test.cc.o"
+  "CMakeFiles/dag_hybrid_test.dir/dag_hybrid_test.cc.o.d"
+  "dag_hybrid_test"
+  "dag_hybrid_test.pdb"
+  "dag_hybrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

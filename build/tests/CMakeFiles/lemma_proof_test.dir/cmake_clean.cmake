@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma_proof_test.dir/lemma_proof_test.cc.o"
+  "CMakeFiles/lemma_proof_test.dir/lemma_proof_test.cc.o.d"
+  "lemma_proof_test"
+  "lemma_proof_test.pdb"
+  "lemma_proof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma_proof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prt_test.dir/prt_test.cc.o"
+  "CMakeFiles/prt_test.dir/prt_test.cc.o.d"
+  "prt_test"
+  "prt_test.pdb"
+  "prt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for prt_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotor_viz_test.dir/rotor_viz_test.cc.o"
+  "CMakeFiles/rotor_viz_test.dir/rotor_viz_test.cc.o.d"
+  "rotor_viz_test"
+  "rotor_viz_test.pdb"
+  "rotor_viz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotor_viz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

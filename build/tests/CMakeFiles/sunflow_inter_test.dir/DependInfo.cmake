@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sunflow_inter_test.cc" "tests/CMakeFiles/sunflow_inter_test.dir/sunflow_inter_test.cc.o" "gcc" "tests/CMakeFiles/sunflow_inter_test.dir/sunflow_inter_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/sunflow_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sunflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sunflow_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sunflow_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sunflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/sunflow_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sunflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/sunflow_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sunflow_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_inter_test.dir/sunflow_inter_test.cc.o"
+  "CMakeFiles/sunflow_inter_test.dir/sunflow_inter_test.cc.o.d"
+  "sunflow_inter_test"
+  "sunflow_inter_test.pdb"
+  "sunflow_inter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_inter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sunflow_inter_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_intra_test.dir/sunflow_intra_test.cc.o"
+  "CMakeFiles/sunflow_intra_test.dir/sunflow_intra_test.cc.o.d"
+  "sunflow_intra_test"
+  "sunflow_intra_test.pdb"
+  "sunflow_intra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_intra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunflow_trace_tool.dir/trace_tool.cc.o"
+  "CMakeFiles/sunflow_trace_tool.dir/trace_tool.cc.o.d"
+  "sunflow_trace_tool"
+  "sunflow_trace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunflow_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
