@@ -9,9 +9,16 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "common/cli.h"
+#include "exp/csv_export.h"
+#include "obs/chrome_trace.h"
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "trace/coflow.h"
 #include "trace/generator.h"
 #include "trace/parser.h"
@@ -69,5 +76,71 @@ inline void Banner(const std::string& title, const Workload& w) {
   std::printf("### %s\n### workload: %s\n\n", title.c_str(),
               w.description.c_str());
 }
+
+/// Structured-tracing and metrics support shared by the bench binaries.
+/// Pass --trace_out=<file> to record the run's events: a ".jsonl" suffix
+/// writes the compact line format (inspect with sunflow_trace_inspect),
+/// anything else writes Chrome trace-event JSON (open in Perfetto or
+/// chrome://tracing). Without the flag, sink() is null and tracing
+/// compiles down to a skipped branch at every emission site. --metrics
+/// prints the global registry at exit; --metrics_csv=<file> dumps it as
+/// CSV. Construct before HandleHelp so the flags appear in --help.
+class BenchTracer {
+ public:
+  explicit BenchTracer(CliFlags& flags)
+      : path_(flags.GetString(
+            "trace_out", "",
+            "write a structured event trace (.jsonl = compact lines, "
+            "otherwise Chrome trace JSON)")),
+        print_metrics_(
+            flags.GetBool("metrics", false, "print the metrics registry")),
+        metrics_csv_(flags.GetString(
+            "metrics_csv", "", "write the metrics registry as CSV")) {
+    // Fail before the run, not after: a typo'd path should not cost a
+    // full bench execution.
+    if (!path_.empty() && !std::ofstream(path_)) {
+      throw std::runtime_error("cannot open trace output " + path_);
+    }
+  }
+
+  obs::TraceSink* sink() { return path_.empty() ? nullptr : &sink_; }
+  bool enabled() const { return !path_.empty(); }
+  const std::vector<obs::Event>& events() const { return sink_.events(); }
+
+  /// Writes the buffered events (if tracing was requested) and reports
+  /// where they went.
+  void Finish() {
+    if (path_.empty()) return;
+    if (path_.size() >= 6 &&
+        path_.compare(path_.size() - 6, 6, ".jsonl") == 0) {
+      std::ofstream f(path_);
+      if (!f) throw std::runtime_error("cannot open " + path_);
+      obs::WriteJsonl(f, sink_.events());
+    } else {
+      obs::WriteChromeTraceFile(path_, sink_.events());
+    }
+    std::printf("\nwrote %zu trace events to %s\n", sink_.events().size(),
+                path_.c_str());
+  }
+
+  /// Dumps the global metrics registry as requested by --metrics /
+  /// --metrics_csv. Call once at the end of the bench.
+  void ReportMetrics() const {
+    if (print_metrics_) {
+      std::printf("\n--- metrics ---\n");
+      obs::GlobalMetrics().WriteText(std::cout);
+    }
+    if (!metrics_csv_.empty()) {
+      exp::WriteMetricsCsv(metrics_csv_, obs::GlobalMetrics());
+      std::printf("wrote metrics to %s\n", metrics_csv_.c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+  bool print_metrics_ = false;
+  std::string metrics_csv_;
+  obs::MemorySink sink_;
+};
 
 }  // namespace sunflow::bench

@@ -21,18 +21,23 @@ int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   bench::Workload w = bench::LoadWorkload(flags);
   const double delta_ms = flags.GetDouble("delta_ms", 10.0, "δ in ms");
+  bench::BenchTracer tracer(flags);
   if (bench::HandleHelp(flags, "Figure 8: inter-Coflow avg CCT vs idleness"))
     return 0;
   bench::Banner("Figure 8 — inter-Coflow comparison with Varys and Aalo", w);
 
   InterRunConfig cfg;
   cfg.delta = Millis(delta_ms);
+  // Trace only the original-load Sunflow replay (Part 1); the idleness
+  // sweep below reuses cfg without the sink.
+  cfg.sink = tracer.sink();
 
   // ---- Part 1: per-coflow CCT ratios at the original load. ----
   const double original_idleness = NetworkIdleness(w.trace, cfg.bandwidth);
   std::printf("original trace idleness at 1 Gbps: %.0f%% (paper: 12%%)\n\n",
               original_idleness * 100);
   const auto cmp = RunInterComparison(w.trace, cfg);
+  cfg.sink = nullptr;
 
   TextTable ratios("Per-coflow CCT ratios (original load)");
   ratios.SetHeader({"pair", "coflows", "mean", "p50", "p95"});
@@ -121,5 +126,7 @@ int main(int argc, char** argv) {
   fig8.AddFootnote(
       "paper Sun/Aalo: 0.48-0.83 (12-40%), 0.95 (81%), 2.40 (98%)");
   fig8.Print(std::cout);
+  tracer.Finish();
+  tracer.ReportMetrics();
   return 0;
 }

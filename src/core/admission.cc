@@ -1,6 +1,8 @@
 #include "core/admission.h"
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 
 namespace sunflow {
 
@@ -11,12 +13,15 @@ AdmissionResult TryAdmitWithDeadline(SunflowPlanner& planner,
   AdmissionResult result;
 
   // Probe on a copy: planning is deterministic, so committing the same
-  // request to the real planner reproduces the probe exactly.
+  // request to the real planner reproduces the probe exactly. The probe is
+  // not traced — only committed decisions appear in the event stream.
   SunflowPlanner probe = planner;
+  probe.SetTraceSink(nullptr);
   SunflowSchedule probe_out;
   const Time finish = probe.ScheduleOne(request, probe_out);
   result.planned_cct = finish - request.start;
   if (result.planned_cct > deadline + kTimeEps) {
+    obs::GlobalMetrics().GetCounter("admission.rejects").Increment();
     return result;  // rejected; planner untouched
   }
 
@@ -24,6 +29,11 @@ AdmissionResult TryAdmitWithDeadline(SunflowPlanner& planner,
   SUNFLOW_CHECK_MSG(TimeEq(committed_finish, finish),
                     "probe and commit disagree — planner not deterministic");
   result.admitted = true;
+  obs::GlobalMetrics().GetCounter("admission.admits").Increment();
+  obs::Emit(planner.trace_sink(), {.type = obs::EventType::kCoflowAdmitted,
+                                   .t = request.start,
+                                   .coflow = request.coflow,
+                                   .value = result.planned_cct});
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
 
 namespace sunflow {
 
@@ -82,6 +83,10 @@ void PortReservationTable::Reserve(const CircuitReservation& r) {
   out_slots_[static_cast<std::size_t>(r.out)].insert(s);
   release_times_.insert(r.end);
   all_.push_back(r);
+  // Instrument addresses are stable, so the lookup happens exactly once.
+  static obs::Counter& reservations =
+      obs::GlobalMetrics().GetCounter("prt.reservations");
+  reservations.Increment();
 }
 
 Time PortReservationTable::NextReleaseAfter(Time t) const {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
 
 namespace sunflow {
 
@@ -18,6 +19,9 @@ PortId PhiAssignments::OutputOf(int k, PortId i) const {
 
 std::vector<std::pair<PortId, PortId>> PhiAssignments::Assignment(
     int k) const {
+  static obs::Counter& materialized =
+      obs::GlobalMetrics().GetCounter("starvation.phi_assignments");
+  materialized.Increment();
   std::vector<std::pair<PortId, PortId>> pairs;
   pairs.reserve(static_cast<std::size_t>(num_ports_));
   for (PortId i = 0; i < num_ports_; ++i) pairs.emplace_back(i, OutputOf(k, i));

@@ -5,6 +5,7 @@
 
 #include "common/assert.h"
 #include "common/rng.h"
+#include "obs/trace_sink.h"
 
 namespace sunflow {
 
@@ -62,6 +63,18 @@ void SunflowPlanner::ImportReservations(
   for (const CircuitReservation& r : reservations) {
     prt_.Reserve(r);
     if (callback_) callback_(r);
+    obs::Emit(sink_, {.type = obs::EventType::kCircuitSetup,
+                      .t = r.start,
+                      .dur = r.length(),
+                      .coflow = r.coflow,
+                      .in = r.in,
+                      .out = r.out,
+                      .value = r.setup});
+    obs::Emit(sink_, {.type = obs::EventType::kCircuitTeardown,
+                      .t = r.end,
+                      .coflow = r.coflow,
+                      .in = r.in,
+                      .out = r.out});
   }
 }
 
@@ -138,12 +151,29 @@ Time SunflowPlanner::ScheduleOne(const PlanRequest& request,
     prt_.Reserve(reservation);
     ++reservations_made;
     if (callback_) callback_(reservation);
+    obs::Emit(sink_, {.type = obs::EventType::kCircuitSetup,
+                      .t = reservation.start,
+                      .dur = reservation.length(),
+                      .coflow = request.coflow,
+                      .in = f.src,
+                      .out = f.dst,
+                      .value = setup});
+    obs::Emit(sink_, {.type = obs::EventType::kCircuitTeardown,
+                      .t = reservation.end,
+                      .coflow = request.coflow,
+                      .in = f.src,
+                      .out = f.dst});
     const Time remaining = std::max(0.0, ld - l);
     if (remaining <= kTimeEps) {
       // Flow finished in this reservation.
       const Time flow_finish = t + l;
       out.flow_finish[{request.coflow, f.src, f.dst}] = flow_finish;
       finish = std::max(finish, flow_finish);
+      obs::Emit(sink_, {.type = obs::EventType::kFlowFinished,
+                        .t = flow_finish,
+                        .coflow = request.coflow,
+                        .in = f.src,
+                        .out = f.dst});
       return 0;
     }
     return remaining;
@@ -177,8 +207,10 @@ SunflowSchedule SunflowPlanner::ScheduleAll(
 }
 
 SunflowSchedule ScheduleSingleCoflow(const Coflow& coflow, PortId num_ports,
-                                     const SunflowConfig& config) {
+                                     const SunflowConfig& config,
+                                     obs::TraceSink* sink) {
   SunflowPlanner planner(num_ports, config);
+  planner.SetTraceSink(sink);
   SunflowSchedule out;
   PlanRequest req = PlanRequest::FromCoflow(coflow, config.bandwidth,
                                             /*start=*/coflow.arrival());

@@ -19,6 +19,10 @@
 #include "core/reservation.h"
 #include "trace/coflow.h"
 
+namespace sunflow::obs {
+class TraceSink;
+}  // namespace sunflow::obs
+
 namespace sunflow {
 
 /// "Shuffle P if desired" (Algorithm 1 line 3): the order in which demand
@@ -122,6 +126,13 @@ class SunflowPlanner {
   /// time to preserve the streaming guarantee.
   void ImportReservations(const std::vector<CircuitReservation>& reservations);
 
+  /// Attaches a structured event tracer (obs/trace_sink.h). The planner
+  /// emits kCircuitSetup / kCircuitTeardown for every reservation and
+  /// kFlowFinished when a flow's demand drains; null (the default)
+  /// disables tracing at the cost of one branch per reservation.
+  void SetTraceSink(obs::TraceSink* sink) { sink_ = sink; }
+  obs::TraceSink* trace_sink() const { return sink_; }
+
   const PortReservationTable& prt() const { return prt_; }
   const SunflowConfig& config() const { return config_; }
 
@@ -133,11 +144,14 @@ class SunflowPlanner {
   EstablishedCircuits established_;
   Time established_at_ = -1;
   ReservationCallback callback_;
+  obs::TraceSink* sink_ = nullptr;
 };
 
 /// Convenience wrapper: schedules a single coflow from an empty PRT and
 /// returns its schedule (the paper's intra-Coflow evaluation mode).
+/// `sink` optionally receives the planner's trace events.
 SunflowSchedule ScheduleSingleCoflow(const Coflow& coflow, PortId num_ports,
-                                     const SunflowConfig& config);
+                                     const SunflowConfig& config,
+                                     obs::TraceSink* sink = nullptr);
 
 }  // namespace sunflow

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace sunflow::exp {
 
 void WriteCsv(const std::string& path, const std::vector<CsvColumn>& columns) {
@@ -25,6 +27,21 @@ void WriteCsv(const std::string& path, const std::vector<CsvColumn>& columns) {
     }
     f << "\n";
   }
+}
+
+void WriteMetricsCsv(const std::string& path,
+                     const obs::MetricsRegistry& registry) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("WriteMetricsCsv: cannot open " + path);
+  f.precision(12);
+  f << "name,kind,count,value,mean,p50,p95,max\n";
+  for (const obs::MetricRow& row : registry.Rows()) {
+    f << row.name << "," << row.kind << "," << row.count << "," << row.value
+      << "," << row.mean << "," << row.p50 << "," << row.p95 << "," << row.max
+      << "\n";
+  }
+  if (!f.good())
+    throw std::runtime_error("WriteMetricsCsv: error writing " + path);
 }
 
 }  // namespace sunflow::exp

@@ -1,10 +1,15 @@
 // Per-coflow CSV export so the paper's scatter plots (Figs 3, 7, 9) can be
 // regenerated with any plotting tool. Bench binaries expose this through
-// a --csv_out flag.
+// a --csv_out flag. Also exports the obs metrics registry (counters,
+// gauges, histograms) in the same spirit via --metrics_csv.
 #pragma once
 
 #include <string>
 #include <vector>
+
+namespace sunflow::obs {
+class MetricsRegistry;
+}  // namespace sunflow::obs
 
 namespace sunflow::exp {
 
@@ -17,5 +22,11 @@ struct CsvColumn {
 /// Writes "name1,name2,...\n" then one row per index. Throws
 /// std::runtime_error if the file cannot be opened or lengths mismatch.
 void WriteCsv(const std::string& path, const std::vector<CsvColumn>& columns);
+
+/// Dumps a metrics registry as CSV: one row per instrument with columns
+/// name,kind,count,value,mean,p50,p95,max (histogram-only columns are 0
+/// for counters/gauges). Throws std::runtime_error on I/O failure.
+void WriteMetricsCsv(const std::string& path,
+                     const obs::MetricsRegistry& registry);
 
 }  // namespace sunflow::exp

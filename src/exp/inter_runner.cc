@@ -52,6 +52,7 @@ InterComparison RunInterComparison(const Trace& trace,
     rc.sunflow.bandwidth = config.bandwidth;
     rc.sunflow.delta = config.delta;
     rc.carry_over_circuits = config.carry_over_circuits;
+    rc.sink = config.sink;
     const auto policy = MakeShortestFirstPolicy();
     cmp.sunflow = ReplayCircuitTrace(trace, *policy, rc).cct;
   }

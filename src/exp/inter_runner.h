@@ -21,6 +21,9 @@ struct InterRunConfig {
   bool carry_over_circuits = true;
   bool run_varys = true;
   bool run_aalo = true;
+  /// Optional structured event tracer for the Sunflow circuit replay
+  /// (packet baselines are not traced).
+  obs::TraceSink* sink = nullptr;
 };
 
 struct InterComparison {

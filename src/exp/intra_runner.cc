@@ -1,6 +1,7 @@
 #include "exp/intra_runner.h"
 
 #include "common/assert.h"
+#include "obs/metrics.h"
 #include "sched/executor.h"
 #include "trace/bounds.h"
 #include "trace/demand_matrix.h"
@@ -44,21 +45,28 @@ IntraRecord BaseRecord(const Coflow& coflow, const IntraRunConfig& config) {
 }
 
 void RunSunflowOne(const Coflow& coflow, PortId num_ports,
-                   const IntraRunConfig& config, IntraRecord& rec) {
+                   const IntraRunConfig& config, IntraRecord& rec,
+                   obs::TraceSink* sink) {
   SunflowConfig sc;
   sc.bandwidth = config.bandwidth;
   sc.delta = config.delta;
   sc.order = config.order;
   sc.shuffle_seed = config.shuffle_seed;
   const Coflow at_zero = coflow.WithArrival(0);
-  const SunflowSchedule schedule =
-      ScheduleSingleCoflow(at_zero, num_ports, sc);
+  SunflowSchedule schedule;
+  {
+    static obs::Histogram& compute_ns =
+        obs::GlobalMetrics().GetHistogram("scheduler.sunflow.compute_ns");
+    obs::ScopedTimer timer(compute_ns);
+    schedule = ScheduleSingleCoflow(at_zero, num_ports, sc, sink);
+  }
   rec.cct = schedule.completion_time.at(coflow.id());
   rec.switching_count = schedule.reservation_count.at(coflow.id());
 }
 
 void RunBaselineOne(const Coflow& coflow, IntraAlgorithm algorithm,
-                    const IntraRunConfig& config, IntraRecord& rec) {
+                    const IntraRunConfig& config, IntraRecord& rec,
+                    obs::TraceSink* sink) {
   DemandMatrix demand(coflow, config.bandwidth);
   demand.MakeSquare();
   AssignmentSchedule schedule;
@@ -76,8 +84,10 @@ void RunBaselineOne(const Coflow& coflow, IntraAlgorithm algorithm,
       SUNFLOW_CHECK(false);
   }
   const ExecutionResult exec =
-      config.all_stop ? ExecuteAllStop(demand, schedule, config.delta)
-                      : ExecuteNotAllStop(demand, schedule, config.delta);
+      config.all_stop ? ExecuteAllStop(demand, schedule, config.delta,
+                                       /*start=*/0, sink, coflow.id())
+                      : ExecuteNotAllStop(demand, schedule, config.delta,
+                                          /*start=*/0, sink, coflow.id());
   rec.cct = exec.cct;
   rec.switching_count = exec.circuit_setups;
 }
@@ -90,13 +100,31 @@ IntraRunResult RunIntra(const Trace& trace, IntraAlgorithm algorithm,
   result.algorithm = ToString(algorithm);
   result.config = config;
   result.records.reserve(trace.coflows.size());
+  // Intra mode evaluates coflows in isolation but the paper's framing is
+  // sequential; the tracer sees them laid end-to-end on one clock.
+  obs::OffsetSink sequenced(config.sink);
+  obs::TraceSink* sink = config.sink != nullptr ? &sequenced : nullptr;
+  Time clock = 0;
   for (const Coflow& coflow : trace.coflows) {
     IntraRecord rec = BaseRecord(coflow, config);
-    if (algorithm == IntraAlgorithm::kSunflow) {
-      RunSunflowOne(coflow, trace.num_ports, config, rec);
-    } else {
-      RunBaselineOne(coflow, algorithm, config, rec);
+    sequenced.set_offset(clock);
+    if (sink != nullptr) {
+      obs::Emit(sink, {.type = obs::EventType::kCoflowAdmitted,
+                       .t = 0,
+                       .coflow = coflow.id()});
     }
+    if (algorithm == IntraAlgorithm::kSunflow) {
+      RunSunflowOne(coflow, trace.num_ports, config, rec, sink);
+    } else {
+      RunBaselineOne(coflow, algorithm, config, rec, sink);
+    }
+    if (sink != nullptr) {
+      obs::Emit(sink, {.type = obs::EventType::kCoflowCompleted,
+                       .t = rec.cct,
+                       .coflow = coflow.id(),
+                       .value = rec.cct});
+    }
+    clock += rec.cct;
     result.records.push_back(rec);
   }
   return result;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/sunflow.h"
+#include "obs/trace_sink.h"
 #include "sched/edmonds.h"
 #include "sched/solstice.h"
 #include "sched/tms.h"
@@ -34,6 +35,11 @@ struct IntraRunConfig {
   EdmondsConfig edmonds;
   SolsticeConfig solstice;
   TmsConfig tms;
+  /// Optional structured event tracer. Intra evaluation runs coflows
+  /// back-to-back ("a Coflow arrives only after the previous one is
+  /// finished"), so each coflow's events are shifted onto a shared
+  /// sequential clock before emission.
+  obs::TraceSink* sink = nullptr;
 };
 
 /// Per-coflow record: identity, bounds and measured performance.

@@ -1,0 +1,36 @@
+#include "obs/event.h"
+
+namespace sunflow::obs {
+
+const char* ToString(EventType type) {
+  switch (type) {
+    case EventType::kCircuitSetup:
+      return "CircuitSetup";
+    case EventType::kCircuitTeardown:
+      return "CircuitTeardown";
+    case EventType::kCoflowAdmitted:
+      return "CoflowAdmitted";
+    case EventType::kCoflowCompleted:
+      return "CoflowCompleted";
+    case EventType::kAssignmentComputed:
+      return "AssignmentComputed";
+    case EventType::kStarvationRound:
+      return "StarvationRound";
+    case EventType::kFlowFinished:
+      return "FlowFinished";
+  }
+  return "?";
+}
+
+bool EventTypeFromString(std::string_view name, EventType& out) {
+  for (int i = 0; i < kNumEventTypes; ++i) {
+    const auto type = static_cast<EventType>(i);
+    if (name == ToString(type)) {
+      out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sunflow::obs

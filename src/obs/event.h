@@ -1,0 +1,62 @@
+// Structured trace events (the observability substrate of every figure).
+//
+// Core, sched and sim emit typed events into a TraceSink as they make
+// decisions: circuit setups paying δ, coflow admissions, starvation-guard Φ
+// rounds, per-flow completions. One flat Event struct (type tag + generic
+// payload fields) keeps emission allocation-free and lets exporters
+// (obs/chrome_trace.h, obs/jsonl.h) stay table-driven. Field meaning per
+// type is documented below and in docs/observability.md.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace sunflow::obs {
+
+enum class EventType : std::uint8_t {
+  /// A circuit [in, out] is established for `coflow`. t = start of the
+  /// reservation/slot, dur = total circuit hold time (setup + transmit),
+  /// value = the setup prefix δ actually paid (0 for carried-over circuits).
+  kCircuitSetup,
+  /// The circuit [in, out] is released at t.
+  kCircuitTeardown,
+  /// `coflow` enters the scheduler's active set at t. value = planned CCT
+  /// when known (deadline admission), else 0.
+  kCoflowAdmitted,
+  /// `coflow` finished its last byte at t. value = achieved CCT.
+  kCoflowCompleted,
+  /// A scheduling pass finished at sim-time t. value = wall-clock compute
+  /// time in nanoseconds, count = number of coflows planned.
+  kAssignmentComputed,
+  /// A starvation-guard τ span ran the fixed assignment A_k. t = span
+  /// start, dur = span length, count = k (the Φ index).
+  kStarvationRound,
+  /// The flow (coflow, in, out) finished its last byte at t.
+  kFlowFinished,
+};
+
+inline constexpr int kNumEventTypes = 7;
+
+/// One trace record. Unused fields keep their defaults; which fields are
+/// meaningful depends on `type` (see EventType comments).
+struct Event {
+  EventType type = EventType::kCircuitSetup;
+  Time t = 0;             ///< simulation time, seconds
+  Time dur = 0;           ///< span length, seconds (span-like events)
+  CoflowId coflow = -1;   ///< -1 when not coflow-scoped
+  PortId in = -1;         ///< input port, -1 when not port-scoped
+  PortId out = -1;        ///< output port
+  double value = 0;       ///< type-specific payload (δ, CCT, compute ns)
+  std::int64_t count = 0; ///< type-specific integer payload (k, set size)
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+const char* ToString(EventType type);
+
+/// Parses the ToString spelling; returns false on unknown names.
+bool EventTypeFromString(std::string_view name, EventType& out);
+
+}  // namespace sunflow::obs

@@ -1,0 +1,36 @@
+// Compact JSONL trace format — one event per line, round-trippable.
+//
+// This is the storage format for large runs (the Chrome JSON of
+// obs/chrome_trace.h is a view, not a store): append-only, greppable, and
+// readable back by tools/trace_inspect. Numbers are written with enough
+// digits to round-trip doubles exactly.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace sunflow::obs {
+
+/// JSON string-escapes `s` (quotes, backslash, control characters).
+std::string EscapeJson(std::string_view s);
+
+/// Writes one event as a single JSONL line (with trailing newline).
+void WriteJsonlEvent(std::ostream& out, const Event& event);
+
+/// Writes all events, one line each.
+void WriteJsonl(std::ostream& out, std::span<const Event> events);
+
+/// Parses a JSONL stream written by WriteJsonl. Blank lines are skipped;
+/// malformed lines throw std::runtime_error naming the line number.
+std::vector<Event> ReadJsonl(std::istream& in);
+
+/// Convenience: parse a whole file. Throws std::runtime_error if the file
+/// cannot be opened.
+std::vector<Event> ReadJsonlFile(const std::string& path);
+
+}  // namespace sunflow::obs

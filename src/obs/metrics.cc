@@ -1,0 +1,157 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace sunflow::obs {
+
+int Histogram::BucketIndex(double v) {
+  // v > 0 here. floor(log2(v) * 64) gives ~1.1% wide buckets.
+  return static_cast<int>(
+      std::floor(std::log2(v) * static_cast<double>(kSubBucketsPerOctave)));
+}
+
+double Histogram::BucketMid(int index) {
+  // Geometric midpoint of [2^(i/64), 2^((i+1)/64)).
+  return std::exp2((static_cast<double>(index) + 0.5) /
+                   static_cast<double>(kSubBucketsPerOctave));
+}
+
+void Histogram::Record(double v) {
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  if (v > 0) {
+    ++buckets_[BucketIndex(v)];
+  } else {
+    ++underflow_;
+  }
+}
+
+double Histogram::ValueAtPercentile(double pct) const {
+  if (count_ == 0) return 0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  // Nearest-rank: the smallest bucket whose cumulative count covers
+  // ceil(pct/100 * count), at least 1.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(pct / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cum = underflow_;
+  if (cum >= target) return min_;  // underflow bucket holds all v <= 0
+  for (const auto& [index, n] : buckets_) {
+    cum += n;
+    if (cum >= target) return std::clamp(BucketMid(index), min_, max_);
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  buckets_.clear();
+  underflow_ = 0;
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.try_emplace(std::string(name)).first;
+  return it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) it = gauges_.try_emplace(std::string(name)).first;
+  return it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.try_emplace(std::string(name)).first;
+  return it->second;
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? &it->second : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? &it->second : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+std::vector<MetricRow> MetricsRegistry::Rows() const {
+  std::vector<MetricRow> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricRow row;
+    row.name = name;
+    row.kind = "counter";
+    row.count = c.value();
+    row.value = static_cast<double>(c.value());
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricRow row;
+    row.name = name;
+    row.kind = "gauge";
+    row.value = g.value();
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricRow row;
+    row.name = name;
+    row.kind = "histogram";
+    row.count = h.count();
+    row.value = h.sum();
+    row.mean = h.mean();
+    row.p50 = h.ValueAtPercentile(50);
+    row.p95 = h.ValueAtPercentile(95);
+    row.max = h.max();
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+void MetricsRegistry::WriteText(std::ostream& out) const {
+  for (const MetricRow& row : Rows()) {
+    out << row.name << " (" << row.kind << ")";
+    if (row.kind == "counter") {
+      out << " value=" << row.count;
+    } else if (row.kind == "gauge") {
+      out << " value=" << row.value;
+    } else {
+      out << " count=" << row.count << " mean=" << row.mean
+          << " p50=" << row.p50 << " p95=" << row.p95 << " max=" << row.max;
+    }
+    out << "\n";
+  }
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, g] : gauges_) g.Reset();
+  for (auto& [name, h] : histograms_) h.Reset();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace sunflow::obs

@@ -1,0 +1,13 @@
+#include "obs/trace_sink.h"
+
+#include <algorithm>
+
+namespace sunflow::obs {
+
+std::size_t MemorySink::CountOf(EventType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [type](const Event& e) { return e.type == type; }));
+}
+
+}  // namespace sunflow::obs

@@ -1,0 +1,79 @@
+// TraceSink — where instrumented code sends its events.
+//
+// Emission sites hold a `TraceSink*` that is null by default; `Emit` is an
+// inlined null check, so a disabled tracer costs one predictable branch and
+// no allocation, formatting or I/O (the "zero-cost when disabled"
+// contract, verified in tests/obs_test.cc). Sinks are not thread-safe —
+// one sink per simulation, like the planner itself.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace sunflow::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const Event& event) = 0;
+};
+
+/// The only sanctioned emission path: instrumented code never calls
+/// OnEvent directly, so a null sink short-circuits before any argument
+/// formatting happens.
+inline void Emit(TraceSink* sink, const Event& event) {
+  if (sink != nullptr) sink->OnEvent(event);
+}
+
+/// Buffers events in memory, in emission order. The default sink for
+/// benches and tests; export afterwards with WriteChromeTrace/WriteJsonl.
+class MemorySink : public TraceSink {
+ public:
+  void OnEvent(const Event& event) override { events_.push_back(event); }
+
+  const std::vector<Event>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Number of buffered events of one type.
+  std::size_t CountOf(EventType type) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Streams each event as one JSONL line the moment it is emitted — bounded
+/// memory for large runs. The stream must outlive the sink.
+class JsonlStreamSink : public TraceSink {
+ public:
+  explicit JsonlStreamSink(std::ostream& out) : out_(out) {}
+  void OnEvent(const Event& event) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Shifts every event by a fixed time offset before forwarding — used by
+/// the intra runner, which evaluates coflows back-to-back ("a Coflow
+/// arrives only after the previous one is finished", §5.3) but plans each
+/// one at t = 0.
+class OffsetSink : public TraceSink {
+ public:
+  explicit OffsetSink(TraceSink* inner) : inner_(inner) {}
+
+  void set_offset(Time offset) { offset_ = offset; }
+  Time offset() const { return offset_; }
+
+  void OnEvent(const Event& event) override {
+    Event shifted = event;
+    shifted.t += offset_;
+    Emit(inner_, shifted);
+  }
+
+ private:
+  TraceSink* inner_ = nullptr;
+  Time offset_ = 0;
+};
+
+}  // namespace sunflow::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 
 namespace sunflow {
 
@@ -87,6 +89,11 @@ ExecutionResult Finalize(DemandTracker& tracker,
   Time last = start;
   for (const auto& fc : result.completions) last = std::max(last, fc.finish);
   result.cct = last - start;
+  // The same counts feed the metrics registry — benches read either source.
+  auto& metrics = obs::GlobalMetrics();
+  metrics.GetCounter("executor.circuit_setups")
+      .Increment(static_cast<std::uint64_t>(setups));
+  metrics.GetCounter("executor.slots").Increment(result.num_slots);
   return result;
 }
 
@@ -94,7 +101,8 @@ ExecutionResult Finalize(DemandTracker& tracker,
 
 ExecutionResult ExecuteNotAllStop(const DemandMatrix& demand,
                                   const AssignmentSchedule& schedule,
-                                  Time delta, Time start) {
+                                  Time delta, Time start,
+                                  obs::TraceSink* sink, CoflowId coflow) {
   SUNFLOW_CHECK(demand.rows() == demand.cols());
   SUNFLOW_CHECK(delta >= 0);
   const int n = demand.rows();
@@ -128,7 +136,16 @@ ExecutionResult ExecuteNotAllStop(const DemandMatrix& demand,
       const bool carried = last_peer_in[static_cast<std::size_t>(r)] == c &&
                            last_peer_out[static_cast<std::size_t>(c)] == r;
       const Time setup = carried ? 0 : delta;
-      if (!carried) ++setups;
+      if (!carried) {
+        ++setups;
+        obs::Emit(sink, {.type = obs::EventType::kCircuitSetup,
+                         .t = t0,
+                         .dur = setup + slot.duration,
+                         .coflow = coflow,
+                         .in = demand.InPort(r),
+                         .out = demand.OutPort(c),
+                         .value = setup});
+      }
 
       const Time transmit_begin = t0 + setup;
       tracker.Transmit(r, c, transmit_begin, slot.duration, completions);
@@ -147,7 +164,8 @@ ExecutionResult ExecuteNotAllStop(const DemandMatrix& demand,
 
 ExecutionResult ExecuteAllStop(const DemandMatrix& demand,
                                const AssignmentSchedule& schedule, Time delta,
-                               Time start) {
+                               Time start,
+                               obs::TraceSink* sink, CoflowId coflow) {
   SUNFLOW_CHECK(demand.rows() == demand.cols());
   SUNFLOW_CHECK(delta >= 0);
   const int n = demand.rows();
@@ -165,10 +183,19 @@ ExecutionResult ExecuteAllStop(const DemandMatrix& demand,
     // for δ; identical consecutive assignments continue for free.
     bool changed = false;
     for (int r = 0; r < n; ++r) {
-      if (slot.col_of_row[static_cast<std::size_t>(r)] !=
-          prev[static_cast<std::size_t>(r)]) {
+      const int c = slot.col_of_row[static_cast<std::size_t>(r)];
+      if (c != prev[static_cast<std::size_t>(r)]) {
         changed = true;
-        if (slot.col_of_row[static_cast<std::size_t>(r)] >= 0) ++setups;
+        if (c >= 0) {
+          ++setups;
+          obs::Emit(sink, {.type = obs::EventType::kCircuitSetup,
+                           .t = t,
+                           .dur = delta + slot.duration,
+                           .coflow = coflow,
+                           .in = demand.InPort(r),
+                           .out = demand.OutPort(c),
+                           .value = delta});
+        }
       }
     }
     if (changed) t += delta;

@@ -20,6 +20,10 @@
 #include "sched/schedule.h"
 #include "trace/demand_matrix.h"
 
+namespace sunflow::obs {
+class TraceSink;
+}  // namespace sunflow::obs
+
 namespace sunflow {
 
 struct FlowCompletion {
@@ -32,6 +36,8 @@ struct ExecutionResult {
   Time cct = 0;  ///< max flow finish − start time
   std::vector<FlowCompletion> completions;
   /// Number of circuit setup events that paid δ (Fig 5's switching count).
+  /// Also accumulated into the `executor.circuit_setups` metric, so traces,
+  /// metrics and this field report from one count.
   int circuit_setups = 0;
   std::size_t num_slots = 0;
   /// When the last circuit of the schedule is released (≥ cct + start).
@@ -39,15 +45,22 @@ struct ExecutionResult {
 };
 
 /// Executes under the not-all-stop model. `demand` is the real (unstuffed)
-/// square demand matrix the schedule was computed for.
+/// square demand matrix the schedule was computed for. `sink` optionally
+/// receives one kCircuitSetup event per δ paid (labelled `coflow`), and
+/// the `executor.circuit_setups` / `executor.slots` metrics are bumped by
+/// the run's totals.
 ExecutionResult ExecuteNotAllStop(const DemandMatrix& demand,
                                   const AssignmentSchedule& schedule,
-                                  Time delta, Time start = 0);
+                                  Time delta, Time start = 0,
+                                  obs::TraceSink* sink = nullptr,
+                                  CoflowId coflow = -1);
 
 /// Executes under the all-stop model (global δ whenever the assignment
 /// changes).
 ExecutionResult ExecuteAllStop(const DemandMatrix& demand,
                                const AssignmentSchedule& schedule, Time delta,
-                               Time start = 0);
+                               Time start = 0,
+                               obs::TraceSink* sink = nullptr,
+                               CoflowId coflow = -1);
 
 }  // namespace sunflow

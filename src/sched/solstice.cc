@@ -1,11 +1,15 @@
 #include "sched/solstice.h"
 
 #include "common/assert.h"
+#include "obs/metrics.h"
 
 namespace sunflow {
 
 AssignmentSchedule ScheduleSolstice(const DemandMatrix& demand,
                                     const SolsticeConfig& config) {
+  static obs::Histogram& compute_ns =
+      obs::GlobalMetrics().GetHistogram("scheduler.solstice.compute_ns");
+  obs::ScopedTimer timer(compute_ns);
   SUNFLOW_CHECK_MSG(demand.rows() == demand.cols(),
                     "Solstice needs a square matrix; call MakeSquare()");
   AssignmentSchedule schedule;

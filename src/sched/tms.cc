@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
 
 namespace sunflow {
 
@@ -25,6 +26,9 @@ void SubtractServed(DemandMatrix& remaining,
 
 AssignmentSchedule ScheduleTms(const DemandMatrix& demand,
                                const TmsConfig& config) {
+  static obs::Histogram& compute_ns =
+      obs::GlobalMetrics().GetHistogram("scheduler.tms.compute_ns");
+  obs::ScopedTimer timer(compute_ns);
   SUNFLOW_CHECK_MSG(demand.rows() == demand.cols(),
                     "TMS needs a square matrix; call MakeSquare()");
   AssignmentSchedule schedule;

@@ -1,10 +1,13 @@
 #include "sim/circuit_replay.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <vector>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "sim/replay_engine.h"
 #include "trace/bounds.h"
 
@@ -89,6 +92,9 @@ CircuitReplayResult RunEngine(PortId num_ports, const PriorityPolicy& policy,
       active.push_back(MakeReplayCoflow(*pending[next_release].coflow,
                                         pending[next_release].release,
                                         bandwidth));
+      obs::Emit(config.sink, {.type = obs::EventType::kCoflowAdmitted,
+                              .t = std::max(t, pending[next_release].release),
+                              .coflow = active.back().id});
       ++next_release;
     }
 
@@ -121,10 +127,23 @@ CircuitReplayResult RunEngine(PortId num_ports, const PriorityPolicy& policy,
       }
       requests.push_back(std::move(req));
     }
+    const auto plan_begin = std::chrono::steady_clock::now();
     SunflowSchedule plan = planner.ScheduleAll(requests);
+    const auto plan_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - plan_begin)
+                             .count();
     ++result.replans;
     for (const auto& [id, count] : plan.reservation_count)
       result.reservations[id] += count;
+    obs::GlobalMetrics()
+        .GetHistogram("scheduler.compute_ns")
+        .Record(static_cast<double>(plan_ns));
+    obs::GlobalMetrics().GetCounter("replay.replans").Increment();
+    obs::Emit(config.sink,
+              {.type = obs::EventType::kAssignmentComputed,
+               .t = t,
+               .value = static_cast<double>(plan_ns),
+               .count = static_cast<std::int64_t>(requests.size())});
 
     last_plan = t;
 
@@ -168,6 +187,29 @@ CircuitReplayResult RunEngine(PortId num_ports, const PriorityPolicy& policy,
       }
     }
 
+    // --- Trace the executed portion of the plan ([t, t_next) only;
+    // reservations superseded by the next replan never ran). ---
+    if (config.sink != nullptr) {
+      for (const auto& r : plan.reservations) {
+        if (r.start >= t_next - kTimeEps) continue;
+        const Time end = std::min(r.end, t_next);
+        obs::Emit(config.sink, {.type = obs::EventType::kCircuitSetup,
+                                .t = r.start,
+                                .dur = end - r.start,
+                                .coflow = r.coflow,
+                                .in = r.in,
+                                .out = r.out,
+                                .value = r.setup});
+        if (r.end <= t_next + kTimeEps) {
+          obs::Emit(config.sink, {.type = obs::EventType::kCircuitTeardown,
+                                  .t = r.end,
+                                  .coflow = r.coflow,
+                                  .in = r.in,
+                                  .out = r.out});
+        }
+      }
+    }
+
     // --- Circuits up at the replan instant (for carry-over). ---
     established.clear();
     if (config.carry_over_circuits) {
@@ -187,6 +229,10 @@ CircuitReplayResult RunEngine(PortId num_ports, const PriorityPolicy& policy,
         result.cct[it->id] = t - it->arrival;
         result.completion[it->id] = t;
         result.makespan = std::max(result.makespan, t);
+        obs::Emit(config.sink, {.type = obs::EventType::kCoflowCompleted,
+                                .t = t,
+                                .coflow = it->id,
+                                .value = t - it->arrival});
         if (on_complete) {
           const std::size_t before = pending.size();
           on_complete(it->id, t, pending);

@@ -29,6 +29,11 @@ struct CircuitReplayConfig {
   /// (required for progress). 0 = replan on every arrival, the paper's
   /// Varys-like cadence.
   Time min_replan_interval = 0;
+  /// Optional structured event tracer (obs/trace_sink.h). The replay emits
+  /// kCoflowAdmitted / kCoflowCompleted, one kAssignmentComputed per
+  /// replan, and kCircuitSetup spans for the *executed* portion of each
+  /// plan (planned-but-superseded reservations are not traced).
+  obs::TraceSink* sink = nullptr;
 };
 
 struct CircuitReplayResult {

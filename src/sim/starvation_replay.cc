@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "trace/bounds.h"
 
 namespace sunflow {
@@ -101,6 +103,7 @@ GuardedReplayResult ReplayWithStarvationGuard(
   std::vector<GuardCoflow> active;
   std::size_t next_arrival = 0;
   Time t = 0;
+  Time last_traced_tau = -kTimeInf;  // dedupes re-entries into one τ span
 
   const std::size_t max_events = 1000 * (trace.coflows.size() + 1) + 100000;
   std::size_t events = 0;
@@ -213,6 +216,14 @@ GuardedReplayResult ReplayWithStarvationGuard(
       // --- τ span: fixed assignment A_k, bandwidth shared per circuit. ---
       const int k = timeline.AssignmentIndexAt(t);
       const Time span_begin = span_end - guard.small_interval;
+      if (!TimeEq(span_begin, last_traced_tau)) {
+        last_traced_tau = span_begin;
+        obs::GlobalMetrics().GetCounter("starvation.rounds").Increment();
+        obs::Emit(config.sink, {.type = obs::EventType::kStarvationRound,
+                                .t = span_begin,
+                                .dur = guard.small_interval,
+                                .count = k});
+      }
       // One setup δ at the start of the τ span; if we enter mid-span the
       // circuits are already up.
       const Time transmit_begin =

@@ -1,0 +1,206 @@
+// sunflow_trace_inspect — summarize a structured JSONL trace.
+//
+// Reads an event stream written by the obs tracer (JsonlStreamSink or
+// WriteJsonl) and reports what the paper's evaluation cares about:
+// per-coflow Gantt stats, the δ-overhead fraction (reconfiguration time
+// over circuit-hold time), per-port idleness over the horizon, and
+// scheduler compute-time percentiles. The same numbers are cross-checkable
+// against trace/idleness (network idleness) and viz/timeline (Gantt).
+//
+// Usage:
+//   sunflow_trace_inspect --trace=run.jsonl [--top=20] [--csv]
+//
+// --csv switches the per-coflow section to machine-readable CSV on stdout.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "obs/jsonl.h"
+
+using namespace sunflow;
+using obs::Event;
+using obs::EventType;
+
+namespace {
+
+struct CoflowStats {
+  Time admitted = -1;
+  Time completed = -1;
+  Time cct = 0;
+  int setups = 0;          // circuit setups that paid δ
+  int reservations = 0;    // all circuit-hold spans
+  Time circuit_seconds = 0;
+  Time delta_seconds = 0;
+  Time first_circuit = kTimeInf;
+  Time last_release = 0;
+  int flows_finished = 0;
+
+  double DeltaFraction() const {
+    return circuit_seconds > 0 ? delta_seconds / circuit_seconds : 0;
+  }
+};
+
+struct PortStats {
+  Time busy = 0;
+  int setups = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const std::string path =
+      flags.GetString("trace", "", "JSONL trace file to inspect");
+  const auto top =
+      static_cast<std::size_t>(flags.GetInt("top", 20, "coflow rows to show"));
+  const bool csv =
+      flags.GetBool("csv", false, "emit the per-coflow table as CSV");
+  if (flags.help_requested() || path.empty()) {
+    flags.PrintHelp("Summarize a Sunflow JSONL event trace");
+    return path.empty() && !flags.help_requested() ? 2 : 0;
+  }
+
+  std::vector<Event> events;
+  try {
+    events = obs::ReadJsonlFile(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::map<EventType, std::size_t> type_counts;
+  std::map<CoflowId, CoflowStats> coflows;
+  std::map<PortId, PortStats> ports;
+  std::vector<double> compute_ns;
+  Time t_min = kTimeInf, t_max = 0;
+  int starvation_rounds = 0;
+
+  for (const Event& e : events) {
+    ++type_counts[e.type];
+    t_min = std::min(t_min, e.t);
+    t_max = std::max(t_max, e.t + std::max(0.0, e.dur));
+    switch (e.type) {
+      case EventType::kCircuitSetup: {
+        auto& cs = coflows[e.coflow];
+        ++cs.reservations;
+        if (e.value > 0) ++cs.setups;
+        cs.circuit_seconds += e.dur;
+        cs.delta_seconds += e.value;
+        cs.first_circuit = std::min(cs.first_circuit, e.t);
+        cs.last_release = std::max(cs.last_release, e.t + e.dur);
+        auto& ps = ports[e.in];
+        ps.busy += e.dur;
+        if (e.value > 0) ++ps.setups;
+        break;
+      }
+      case EventType::kCircuitTeardown:
+        break;
+      case EventType::kCoflowAdmitted:
+        coflows[e.coflow].admitted = e.t;
+        break;
+      case EventType::kCoflowCompleted: {
+        auto& cs = coflows[e.coflow];
+        cs.completed = e.t;
+        cs.cct = e.value;
+        break;
+      }
+      case EventType::kAssignmentComputed:
+        compute_ns.push_back(e.value);
+        break;
+      case EventType::kStarvationRound:
+        ++starvation_rounds;
+        break;
+      case EventType::kFlowFinished:
+        ++coflows[e.coflow].flows_finished;
+        break;
+    }
+  }
+  if (events.empty()) {
+    std::printf("empty trace\n");
+    return 0;
+  }
+  const Time horizon = std::max(kTimeEps, t_max - std::min(t_min, t_max));
+
+  std::printf("trace: %s\n", path.c_str());
+  std::printf("events: %zu over [%.6f, %.6f] s (horizon %.6f s)\n",
+              events.size(), std::min(t_min, t_max), t_max, horizon);
+  for (const auto& [type, n] : type_counts) {
+    std::printf("  %-20s %zu\n", obs::ToString(type), n);
+  }
+
+  // δ overhead: reconfiguration seconds over total circuit-hold seconds.
+  Time total_circuit = 0, total_delta = 0;
+  int total_setups = 0;
+  for (const auto& [id, cs] : coflows) {
+    total_circuit += cs.circuit_seconds;
+    total_delta += cs.delta_seconds;
+    total_setups += cs.setups;
+  }
+  std::printf("\ncircuit setups paying delta: %d\n", total_setups);
+  std::printf("circuit-hold time: %.6f s, of which delta: %.6f s (%.2f%%)\n",
+              total_circuit, total_delta,
+              total_circuit > 0 ? 100.0 * total_delta / total_circuit : 0.0);
+
+  // Port idleness: fraction of the horizon each seen input port held no
+  // circuit (the executable-trace analogue of trace/idleness).
+  if (!ports.empty()) {
+    std::vector<double> idle;
+    idle.reserve(ports.size());
+    for (const auto& [p, ps] : ports) {
+      idle.push_back(std::max(0.0, 1.0 - ps.busy / horizon));
+    }
+    std::printf("port idleness over %zu active ports: %s\n", ports.size(),
+                stats::ToString(stats::Summarize(idle)).c_str());
+  }
+
+  if (!compute_ns.empty()) {
+    std::printf("scheduler compute (ns): %s\n",
+                stats::ToString(stats::Summarize(compute_ns)).c_str());
+  }
+  if (starvation_rounds > 0) {
+    std::printf("starvation-guard rounds: %d\n", starvation_rounds);
+  }
+
+  // Per-coflow Gantt stats, largest CCT first.
+  std::vector<std::pair<CoflowId, CoflowStats>> rows(coflows.begin(),
+                                                     coflows.end());
+  std::erase_if(rows, [](const auto& kv) { return kv.first < 0; });
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.cct > b.second.cct;
+  });
+
+  if (csv) {
+    std::printf(
+        "\ncoflow,admitted_s,completed_s,cct_s,setups,reservations,"
+        "circuit_s,delta_s,delta_fraction,flows_finished\n");
+    for (const auto& [id, cs] : rows) {
+      std::printf("%lld,%.9g,%.9g,%.9g,%d,%d,%.9g,%.9g,%.6f,%d\n",
+                  static_cast<long long>(id), cs.admitted, cs.completed,
+                  cs.cct, cs.setups, cs.reservations, cs.circuit_seconds,
+                  cs.delta_seconds, cs.DeltaFraction(), cs.flows_finished);
+    }
+    return 0;
+  }
+
+  TextTable table("Per-coflow Gantt stats (top " +
+                  std::to_string(std::min(top, rows.size())) + " by CCT)");
+  table.SetHeader({"coflow", "cct_s", "setups", "circuit_s", "delta_s",
+                   "delta%", "flows"});
+  for (std::size_t i = 0; i < rows.size() && i < top; ++i) {
+    const auto& [id, cs] = rows[i];
+    table.AddRow({std::to_string(id), TextTable::Fmt(cs.cct, 4),
+                  std::to_string(cs.setups),
+                  TextTable::Fmt(cs.circuit_seconds, 4),
+                  TextTable::Fmt(cs.delta_seconds, 4),
+                  TextTable::Fmt(100 * cs.DeltaFraction(), 2),
+                  std::to_string(cs.flows_finished)});
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  return 0;
+}
