@@ -4,6 +4,7 @@
 //    the all-stop model pays a global δ at every assignment change.
 // 2. Sunflow's inter-Coflow replay with and without circuit carry-over at
 //    replan instants (DESIGN.md substitution #4).
+#include <algorithm>
 #include <iostream>
 #include <map>
 
@@ -12,6 +13,7 @@
 #include "common/table.h"
 #include "core/policy.h"
 #include "exp/intra_runner.h"
+#include "runtime/thread_pool.h"
 #include "sim/circuit_replay.h"
 #include "sim/rotor_replay.h"
 #include "trace/generator.h"
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
   using namespace sunflow::exp;
   CliFlags flags(argc, argv);
   bench::Workload w = bench::LoadWorkload(flags);
+  const int threads = bench::Threads(flags);
   if (bench::HandleHelp(flags, "Ablation: all-stop model and carry-over"))
     return 0;
   bench::Banner("Ablation — switch model and replan carry-over", w);
@@ -31,6 +34,7 @@ int main(int argc, char** argv) {
     for (bool all_stop : {false, true}) {
       IntraRunConfig cfg;
       cfg.all_stop = all_stop;
+      cfg.threads = threads;
       const auto run = RunIntra(w.trace, IntraAlgorithm::kSolstice, cfg);
       const auto ratios =
           run.Collect([](const IntraRecord& r) { return r.CctOverTcl(); });
@@ -49,17 +53,26 @@ int main(int argc, char** argv) {
     TextTable table("Sunflow inter-Coflow replay: circuit carry-over");
     table.SetHeader({"carry-over", "avg CCT", "p95 CCT", "reservations"});
     const auto policy = MakeShortestFirstPolicy();
-    for (bool carry : {true, false}) {
-      CircuitReplayConfig cfg;
-      cfg.sunflow.bandwidth = Gbps(1);
-      cfg.sunflow.delta = Millis(10);
-      cfg.carry_over_circuits = carry;
-      const auto result = ReplayCircuitTrace(w.trace, *policy, cfg);
+    // The two carry-over variants are independent replays — fan them out.
+    const bool carry_options[] = {true, false};
+    CircuitReplayResult replays[2];
+    {
+      runtime::ThreadPool pool(std::min(threads, 2));
+      pool.ParallelFor(0, 2, [&](std::size_t i) {
+        CircuitReplayConfig cfg;
+        cfg.sunflow.bandwidth = Gbps(1);
+        cfg.sunflow.delta = Millis(10);
+        cfg.carry_over_circuits = carry_options[i];
+        replays[i] = ReplayCircuitTrace(w.trace, *policy, cfg);
+      });
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+      const auto& result = replays[i];
       std::vector<double> ccts;
       for (const auto& [id, cct] : result.cct) ccts.push_back(cct);
       long long reservations = 0;
       for (const auto& [id, n] : result.reservations) reservations += n;
-      table.AddRow({carry ? "on" : "off",
+      table.AddRow({carry_options[i] ? "on" : "off",
                     TextTable::Fmt(stats::Mean(ccts), 3) + "s",
                     TextTable::Fmt(stats::Percentile(ccts, 95), 3) + "s",
                     std::to_string(reservations)});

@@ -1,8 +1,8 @@
 // Shared workload construction for the bench binaries.
 //
 // Every bench accepts the same flags so experiments are reproducible and
-// scalable: --coflows, --ports, --seed, --perturb, and (where meaningful)
-// --bandwidth_gbps / --delta_ms. The default workload matches §5.1: a
+// scalable: --coflows, --ports, --seed, --perturb, --threads, and (where
+// meaningful) --bandwidth_gbps / --delta_ms. The default workload matches §5.1: a
 // 526-coflow, 150-port one-hour trace with ±5% flow-size perturbation
 // floored at 1 MB. Pass --trace=<file> to use a real coflow-benchmark file
 // (e.g. FB2010-1Hr-150-0.txt) instead of the synthetic trace.
@@ -19,6 +19,7 @@
 #include "obs/jsonl.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
+#include "runtime/thread_pool.h"
 #include "trace/coflow.h"
 #include "trace/generator.h"
 #include "trace/parser.h"
@@ -61,6 +62,19 @@ inline Workload LoadWorkload(CliFlags& flags) {
                      "% perturbation";
   }
   return w;
+}
+
+/// The shared --threads flag: worker threads for the parallel sweep
+/// engine (src/runtime). The default uses every hardware thread; results
+/// are bit-identical at any value — deterministic sharding plus the
+/// sharded-merge obs contract mean --threads only changes wall-clock
+/// time, never output. Pass --threads=1 for a serial run.
+inline int Threads(CliFlags& flags) {
+  const auto n = flags.GetInt(
+      "threads", 0,
+      "worker threads for parallel sweeps (0 = all hardware threads; "
+      "output is identical at any value)");
+  return n <= 0 ? runtime::HardwareConcurrency() : static_cast<int>(n);
 }
 
 /// Standard preamble: handles --help, prints the workload banner.
@@ -131,7 +145,7 @@ class BenchTracer {
       obs::GlobalMetrics().WriteText(std::cout);
     }
     if (!metrics_csv_.empty()) {
-      exp::WriteMetricsCsv(metrics_csv_, obs::GlobalMetrics());
+      exp::WriteMetricsCsv(metrics_csv_, obs::GlobalMetrics().Merged());
       std::printf("wrote metrics to %s\n", metrics_csv_.c_str());
     }
   }

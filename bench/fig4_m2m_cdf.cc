@@ -16,12 +16,14 @@ int main(int argc, char** argv) {
   using namespace sunflow::exp;
   CliFlags flags(argc, argv);
   bench::Workload w = bench::LoadWorkload(flags);
+  const int threads = bench::Threads(flags);
   if (bench::HandleHelp(flags, "Figure 4: M2M CDFs of CCT over bounds"))
     return 0;
   bench::Banner("Figure 4 — CCT over lower bounds on many-to-many coflows",
                 w);
 
   IntraRunConfig cfg;
+  cfg.threads = threads;
   TextTable table("M2M summary");
   table.SetHeader({"series", "mean", "p50", "p95", "max"});
   for (auto algorithm :

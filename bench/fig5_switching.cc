@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace sunflow::exp;
   CliFlags flags(argc, argv);
   bench::Workload w = bench::LoadWorkload(flags);
+  const int threads = bench::Threads(flags);
   bench::BenchTracer tracer(flags);
   if (bench::HandleHelp(flags, "Figure 5: normalized switching counts"))
     return 0;
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
 
   IntraRunConfig cfg;
   cfg.sink = tracer.sink();
+  cfg.threads = threads;
   TextTable table("Normalized switching count (M2M)");
   table.SetHeader(
       {"algorithm", "mean", "p50", "p95", "max", "corr(norm, |C|)"});

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   bench::Workload w = bench::LoadWorkload(flags);
   const bool include_solstice = flags.GetBool(
       "solstice", true, "also sweep Solstice for the §5.3.1 comparison");
+  const int threads = bench::Threads(flags);
   if (bench::HandleHelp(flags, "Figure 6: intra sensitivity to delta"))
     return 0;
   bench::Banner("Figure 6 — intra-Coflow CCT vs delta (normalized to 10ms)",
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
     // Baseline run at 10 ms.
     IntraRunConfig base_cfg;
     base_cfg.delta = Millis(10);
+    base_cfg.threads = threads;
     const auto base = RunIntra(w.trace, algorithm, base_cfg);
     std::map<CoflowId, double> base_cct;
     for (const auto& rec : base.records) base_cct[rec.id] = rec.cct;
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
     for (const auto& [label, delta] : deltas) {
       IntraRunConfig cfg;
       cfg.delta = delta;
+      cfg.threads = threads;
       const auto run = RunIntra(w.trace, algorithm, cfg);
       std::vector<double> normalized;
       for (const auto& rec : run.records) {

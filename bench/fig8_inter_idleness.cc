@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   bench::Workload w = bench::LoadWorkload(flags);
   const double delta_ms = flags.GetDouble("delta_ms", 10.0, "δ in ms");
+  const int threads = bench::Threads(flags);
   bench::BenchTracer tracer(flags);
   if (bench::HandleHelp(flags, "Figure 8: inter-Coflow avg CCT vs idleness"))
     return 0;
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
 
   InterRunConfig cfg;
   cfg.delta = Millis(delta_ms);
+  cfg.threads = threads;  // the 3 replays per comparison run fan out
   // Trace only the original-load Sunflow replay (Part 1); the idleness
   // sweep below reuses cfg without the sink.
   cfg.sink = tracer.sink();

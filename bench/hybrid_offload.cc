@@ -4,6 +4,7 @@
 // small companion packet network, the rest by Sunflow on the OCS. Shows
 // the §5.4/Fig 9 short-coflow setup penalty being bought back with a
 // fraction of the bandwidth.
+#include <algorithm>
 #include <iostream>
 #include <map>
 
@@ -11,6 +12,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/policy.h"
+#include "runtime/thread_pool.h"
 #include "sim/hybrid_replay.h"
 
 int main(int argc, char** argv) {
@@ -20,38 +22,50 @@ int main(int argc, char** argv) {
   const double packet_gbps = flags.GetDouble(
       "packet_gbps", 0.1, "companion packet network bandwidth");
   const double delta_ms = flags.GetDouble("delta_ms", 10.0, "δ in ms");
+  const int threads = bench::Threads(flags);
   if (bench::HandleHelp(flags, "Hybrid circuit/packet offload sweep"))
     return 0;
   bench::Banner("Hybrid OCS + packet offload (§6 deployment discussion)", w);
 
   const auto policy = MakeShortestFirstPolicy();
 
-  // Pure-OCS baseline once; per-threshold rows compare the *offloaded
-  // subset's* average CCT against what the same coflows saw on the OCS.
+  // Pure-OCS baseline plus one replay per threshold — five independent
+  // whole-trace simulations, fanned out over the pool. Per-threshold rows
+  // compare the *offloaded subset's* average CCT against what the same
+  // coflows saw on the OCS (the baseline).
+  const std::vector<double> thresholds_mb = {0.0, 10.0, 50.0, 200.0};
   std::map<CoflowId, Time> baseline;
+  std::vector<HybridReplayResult> sweeps(thresholds_mb.size());
   {
-    HybridReplayConfig cfg;
-    cfg.circuit.sunflow.bandwidth = Gbps(1);
-    cfg.circuit.sunflow.delta = Millis(delta_ms);
-    cfg.offload_threshold = 0;
-    baseline = ReplayHybridTrace(w.trace, *policy, cfg).cct;
+    runtime::ThreadPool pool(
+        std::min<int>(threads, static_cast<int>(thresholds_mb.size()) + 1));
+    pool.ParallelFor(0, thresholds_mb.size() + 1, [&](std::size_t i) {
+      HybridReplayConfig cfg;
+      cfg.circuit.sunflow.bandwidth = Gbps(1);
+      cfg.circuit.sunflow.delta = Millis(delta_ms);
+      if (i == 0) {
+        cfg.offload_threshold = 0;
+        baseline = ReplayHybridTrace(w.trace, *policy, cfg).cct;
+      } else {
+        cfg.packet_bandwidth = Gbps(packet_gbps);
+        cfg.offload_threshold = MB(thresholds_mb[i - 1]);
+        sweeps[i - 1] = ReplayHybridTrace(w.trace, *policy, cfg);
+      }
+    });
   }
 
   TextTable table("Offload-threshold sweep (packet side " +
                   TextTable::Fmt(packet_gbps, 2) + " Gbps)");
   table.SetHeader({"threshold", "offloaded", "on OCS", "avg CCT (all)",
                    "avg CCT offloaded set", "same set on pure OCS"});
-  for (double threshold_mb : {0.0, 10.0, 50.0, 200.0}) {
-    HybridReplayConfig cfg;
-    cfg.circuit.sunflow.bandwidth = Gbps(1);
-    cfg.circuit.sunflow.delta = Millis(delta_ms);
-    cfg.packet_bandwidth = Gbps(packet_gbps);
-    cfg.offload_threshold = MB(threshold_mb);
-    const auto result = ReplayHybridTrace(w.trace, *policy, cfg);
+  for (std::size_t t = 0; t < thresholds_mb.size(); ++t) {
+    const double threshold_mb = thresholds_mb[t];
+    const auto& result = sweeps[t];
+    const Bytes offload_threshold = MB(threshold_mb);
     std::vector<double> all, offloaded_set, same_set_pure;
     for (const Coflow& c : w.trace.coflows) {
       all.push_back(result.cct.at(c.id()));
-      if (c.total_bytes() <= cfg.offload_threshold) {
+      if (c.total_bytes() <= offload_threshold) {
         offloaded_set.push_back(result.cct.at(c.id()));
         same_set_pure.push_back(baseline.at(c.id()));
       }

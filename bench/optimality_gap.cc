@@ -12,6 +12,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/sunflow.h"
+#include "runtime/sweep.h"
 #include "sched/optimal.h"
 #include "trace/bounds.h"
 
@@ -20,6 +21,8 @@ int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   const auto trials = flags.GetInt("trials", 300, "random coflows per size");
   const double delta_ms = flags.GetDouble("delta_ms", 10.0, "δ in ms");
+  const auto seed = flags.GetInt("seed", 2016, "base seed for random coflows");
+  const int threads = bench::Threads(flags);
   if (flags.help_requested()) {
     flags.PrintHelp("Sunflow vs exact non-preemptive optimum");
     return 0;
@@ -34,28 +37,47 @@ int main(int argc, char** argv) {
   TextTable table("CCT ratios by coflow size");
   table.SetHeader({"|C|", "Sunflow/OPT mean", "p95", "max",
                    "OPT/TcL mean", "Sunflow/TcL mean"});
-  Rng rng(2016);
-  for (int k : {2, 4, 6, 8}) {
+  const std::vector<int> sizes = {2, 4, 6, 8};
+  runtime::SweepConfig sweep_cfg;
+  sweep_cfg.threads = threads;
+  sweep_cfg.base_seed = static_cast<std::uint64_t>(seed);
+  runtime::SweepRunner runner(sweep_cfg);
+  for (std::size_t ki = 0; ki < sizes.size(); ++ki) {
+    const int k = sizes[ki];
+    struct TrialRatios {
+      double vs_opt = 0, opt_vs_tcl = 0, vs_tcl = 0;
+    };
+    // One branch-and-bound trial per task; each draws its coflow from an
+    // Rng seeded by (seed, global trial index), so results don't depend on
+    // execution order or thread count.
+    const auto sweep = runner.Run<TrialRatios>(
+        static_cast<std::size_t>(trials), /*capture_events=*/false,
+        [&](runtime::TaskContext& ctx) {
+          Rng rng(runtime::TaskSeed(
+              ctx.seed, ki * static_cast<std::size_t>(trials)));
+          std::vector<Flow> flows;
+          while (static_cast<int>(flows.size()) < k) {
+            const PortId s = static_cast<PortId>(rng.UniformInt(0, 5));
+            const PortId d = static_cast<PortId>(rng.UniformInt(0, 5));
+            bool dup = false;
+            for (const auto& e : flows)
+              if (e.src == s && e.dst == d) dup = true;
+            if (!dup) flows.push_back({s, d, MB(rng.Uniform(1, 80))});
+          }
+          const Coflow c(1, 0, std::move(flows));
+          const Time opt =
+              OptimalNonPreemptiveCct(c, cfg.bandwidth, cfg.delta).makespan;
+          const Time tcl = CircuitLowerBound(c, cfg.bandwidth, cfg.delta);
+          const Time sunflow_cct =
+              ScheduleSingleCoflow(c, 6, cfg).completion_time.at(1);
+          return TrialRatios{sunflow_cct / opt, opt / tcl,
+                             sunflow_cct / tcl};
+        });
     std::vector<double> vs_opt, opt_vs_tcl, vs_tcl;
-    for (int trial = 0; trial < trials; ++trial) {
-      std::vector<Flow> flows;
-      while (static_cast<int>(flows.size()) < k) {
-        const PortId s = static_cast<PortId>(rng.UniformInt(0, 5));
-        const PortId d = static_cast<PortId>(rng.UniformInt(0, 5));
-        bool dup = false;
-        for (const auto& e : flows)
-          if (e.src == s && e.dst == d) dup = true;
-        if (!dup) flows.push_back({s, d, MB(rng.Uniform(1, 80))});
-      }
-      const Coflow c(1, 0, std::move(flows));
-      const Time opt =
-          OptimalNonPreemptiveCct(c, cfg.bandwidth, cfg.delta).makespan;
-      const Time tcl = CircuitLowerBound(c, cfg.bandwidth, cfg.delta);
-      const Time sunflow_cct =
-          ScheduleSingleCoflow(c, 6, cfg).completion_time.at(1);
-      vs_opt.push_back(sunflow_cct / opt);
-      opt_vs_tcl.push_back(opt / tcl);
-      vs_tcl.push_back(sunflow_cct / tcl);
+    for (const TrialRatios& r : sweep.results) {
+      vs_opt.push_back(r.vs_opt);
+      opt_vs_tcl.push_back(r.opt_vs_tcl);
+      vs_tcl.push_back(r.vs_tcl);
     }
     table.AddRow({std::to_string(k),
                   TextTable::Fmt(stats::Mean(vs_opt), 4),

@@ -16,11 +16,13 @@ int main(int argc, char** argv) {
   using namespace sunflow::exp;
   CliFlags flags(argc, argv);
   bench::Workload w = bench::LoadWorkload(flags);
+  const int threads = bench::Threads(flags);
   if (bench::HandleHelp(flags, "Reservation-ordering sensitivity")) return 0;
   bench::Banner("§5.3.1 — sensitivity to reservation ordering", w);
 
   IntraRunConfig base_cfg;
   base_cfg.order = ReservationOrder::kOrderedPort;
+  base_cfg.threads = threads;
   const auto base = RunIntra(w.trace, IntraAlgorithm::kSunflow, base_cfg);
   std::map<CoflowId, double> base_cct;
   for (const auto& rec : base.records) base_cct[rec.id] = rec.cct;
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
     IntraRunConfig cfg;
     cfg.order = order;
     cfg.shuffle_seed = 7;
+    cfg.threads = threads;
     const auto run = RunIntra(w.trace, IntraAlgorithm::kSunflow, cfg);
     std::vector<double> normalized;
     for (const auto& rec : run.records) {

@@ -1,0 +1,109 @@
+// Microbench for the parallel sweep engine (src/runtime): runs the §5.3
+// intra-Coflow sweep serially and at increasing thread counts, reports
+// wall-clock speedup, and checks that every record is bit-identical to
+// the serial run — the engine's determinism contract, measured.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "exp/intra_runner.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using namespace sunflow;
+using namespace sunflow::exp;
+
+double TimeRun(const Trace& trace, IntraRunConfig cfg, int repeat,
+               IntraRunResult* out) {
+  double best = 1e300;
+  for (int r = 0; r < repeat; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    IntraRunResult run = RunIntra(trace, IntraAlgorithm::kSunflow, cfg);
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(stop - start).count());
+    if (out) *out = std::move(run);
+  }
+  return best;
+}
+
+bool SameRecords(const std::vector<IntraRecord>& a,
+                 const std::vector<IntraRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const IntraRecord &x = a[i], &y = b[i];
+    // Exact comparison on purpose: the contract is bit-identical output,
+    // not approximately-equal output.
+    if (x.id != y.id || x.category != y.category ||
+        x.num_flows != y.num_flows || x.bytes != y.bytes ||
+        x.pavg != y.pavg || x.tcl != y.tcl || x.tpl != y.tpl ||
+        x.cct != y.cct || x.switching_count != y.switching_count)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  bench::Workload w = bench::LoadWorkload(flags);
+  const int max_threads = bench::Threads(flags);
+  const auto repeat =
+      flags.GetInt("repeat", 3, "timed repetitions per point (best-of)");
+  bench::BenchTracer tracer(flags);
+  if (bench::HandleHelp(flags, "Sweep-engine scaling microbench"))
+    return 0;
+  bench::Banner("Parallel sweep scaling — RunIntra across thread counts", w);
+
+  IntraRunConfig cfg;
+
+  // Serial reference: pool size 1 means no worker threads at all, so this
+  // is the schedule every parallel run must reproduce byte for byte.
+  IntraRunResult serial;
+  const double serial_ms =
+      TimeRun(w.trace, cfg, static_cast<int>(repeat), &serial);
+
+  std::vector<int> points = {1};
+  for (int t = 2; t < max_threads; t *= 2) points.push_back(t);
+  if (max_threads > 1) points.push_back(max_threads);
+
+  TextTable table("RunIntra wall clock vs --threads (best of " +
+                  std::to_string(repeat) + ")");
+  table.SetHeader({"threads", "wall (ms)", "speedup", "identical"});
+  bool all_identical = true;
+  double best_speedup = 1.0;
+  for (int t : points) {
+    cfg.threads = t;
+    IntraRunResult run;
+    const double ms = t == 1 ? serial_ms
+                             : TimeRun(w.trace, cfg, static_cast<int>(repeat),
+                                       &run);
+    const bool same = t == 1 || SameRecords(serial.records, run.records);
+    all_identical = all_identical && same;
+    const double speedup = serial_ms / ms;
+    best_speedup = std::max(best_speedup, speedup);
+    table.AddRow({std::to_string(t), TextTable::Fmt(ms, 1),
+                  TextTable::Fmt(speedup, 2) + "x", same ? "yes" : "NO"});
+  }
+  table.AddFootnote("identical = records bit-equal to the --threads=1 run");
+  table.Print(std::cout);
+  std::printf("\nbest speedup %.2fx over serial, determinism %s\n",
+              best_speedup, all_identical ? "held" : "VIOLATED");
+
+  // One final traced run so --trace_out / --metrics_csv capture a
+  // parallel execution (events are merged in task order, so the stream
+  // matches a serial run too).
+  if (tracer.enabled()) {
+    cfg.threads = max_threads;
+    cfg.sink = tracer.sink();
+    RunIntra(w.trace, IntraAlgorithm::kSunflow, cfg);
+    tracer.Finish();
+  }
+  tracer.ReportMetrics();
+  return all_identical ? 0 : 1;
+}

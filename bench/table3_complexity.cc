@@ -11,12 +11,14 @@
 
 #include "common/rng.h"
 #include "core/sunflow.h"
+#include "exp/intra_runner.h"
 #include "sched/edmonds.h"
 #include "sched/solstice.h"
 #include "sched/tms.h"
 #include "core/prt.h"
 #include "matching/decomposition.h"
 #include "trace/demand_matrix.h"
+#include "trace/generator.h"
 
 namespace sunflow {
 namespace {
@@ -110,6 +112,25 @@ void BM_SunflowSparseHugeFabric(benchmark::State& state) {
   state.SetLabel("N=4096, |C|=64");
 }
 BENCHMARK(BM_SunflowSparseHugeFabric);
+
+// Whole-trace intra sweep through the runtime engine: per-coflow
+// schedules fan out across the pool, so this directly measures the
+// SweepRunner speedup available to every fig* target. Arg = thread count.
+void BM_IntraSweep(benchmark::State& state) {
+  SyntheticTraceConfig tc;
+  tc.num_coflows = 200;
+  tc.num_ports = 32;
+  const Trace trace = GenerateSyntheticTrace(tc);
+  exp::IntraRunConfig cfg;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exp::RunIntra(trace, exp::IntraAlgorithm::kSunflow, cfg));
+  }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_IntraSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // --- Substrate micro-benchmarks: the data structures behind Table 3. ---
 

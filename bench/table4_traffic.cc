@@ -12,6 +12,9 @@ int main(int argc, char** argv) {
   using namespace sunflow;
   CliFlags flags(argc, argv);
   bench::Workload w = bench::LoadWorkload(flags);
+  // Classification is pure counting; the flag is accepted for CLI
+  // uniformity across bench targets but has nothing to parallelize.
+  (void)bench::Threads(flags);
   if (bench::HandleHelp(flags, "Table 4: coflow classification")) return 0;
   bench::Banner("Table 4 — Coflow classification by sender-to-receiver ratio",
                 w);

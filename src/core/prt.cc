@@ -83,8 +83,9 @@ void PortReservationTable::Reserve(const CircuitReservation& r) {
   out_slots_[static_cast<std::size_t>(r.out)].insert(s);
   release_times_.insert(r.end);
   all_.push_back(r);
-  // Instrument addresses are stable, so the lookup happens exactly once.
-  static obs::Counter& reservations =
+  // Instrument addresses are stable, so the lookup happens exactly once
+  // per thread (thread_local: shards are per thread, obs/metrics.h).
+  static thread_local obs::Counter& reservations =
       obs::GlobalMetrics().GetCounter("prt.reservations");
   reservations.Increment();
 }

@@ -19,7 +19,8 @@ PortId PhiAssignments::OutputOf(int k, PortId i) const {
 
 std::vector<std::pair<PortId, PortId>> PhiAssignments::Assignment(
     int k) const {
-  static obs::Counter& materialized =
+  // thread_local: GlobalMetrics() shards per thread (see obs/metrics.h).
+  static thread_local obs::Counter& materialized =
       obs::GlobalMetrics().GetCounter("starvation.phi_assignments");
   materialized.Increment();
   std::vector<std::pair<PortId, PortId>> pairs;

@@ -1,9 +1,14 @@
 #include "exp/inter_runner.h"
 
+#include <algorithm>
+#include <functional>
+#include <vector>
+
 #include "common/assert.h"
 #include "packet/aalo.h"
 #include "packet/replay.h"
 #include "packet/varys.h"
+#include "runtime/thread_pool.h"
 #include "trace/bounds.h"
 
 namespace sunflow::exp {
@@ -47,7 +52,11 @@ InterComparison RunInterComparison(const Trace& trace,
     cmp.pavg[c.id()] = c.AvgProcessingTime(config.bandwidth);
   }
 
-  {
+  // The three replays are independent whole-trace simulations writing
+  // disjoint maps — fan them out. Only the Sunflow replay carries the
+  // caller's sink, so the one-sink-per-task contract holds.
+  std::vector<std::function<void()>> replays;
+  replays.push_back([&] {
     CircuitReplayConfig rc;
     rc.sunflow.bandwidth = config.bandwidth;
     rc.sunflow.delta = config.delta;
@@ -55,22 +64,32 @@ InterComparison RunInterComparison(const Trace& trace,
     rc.sink = config.sink;
     const auto policy = MakeShortestFirstPolicy();
     cmp.sunflow = ReplayCircuitTrace(trace, *policy, rc).cct;
-  }
+  });
   if (config.run_varys) {
-    packet::PacketReplayConfig pc;
-    pc.bandwidth = config.bandwidth;
-    pc.reallocate_on_flow_completion = false;  // §5.4's Varys behaviour
-    auto varys = packet::MakeVarysAllocator();
-    cmp.varys = packet::ReplayPacketTrace(trace, *varys, pc).cct;
+    replays.push_back([&] {
+      packet::PacketReplayConfig pc;
+      pc.bandwidth = config.bandwidth;
+      pc.reallocate_on_flow_completion = false;  // §5.4's Varys behaviour
+      auto varys = packet::MakeVarysAllocator();
+      cmp.varys = packet::ReplayPacketTrace(trace, *varys, pc).cct;
+    });
   }
   if (config.run_aalo) {
-    packet::PacketReplayConfig pc;
-    pc.bandwidth = config.bandwidth;
-    pc.reallocate_on_flow_completion = true;
-    pc.track_queue_crossings = true;
-    auto aalo = packet::MakeAaloAllocator();
-    cmp.aalo = packet::ReplayPacketTrace(trace, *aalo, pc).cct;
+    replays.push_back([&] {
+      packet::PacketReplayConfig pc;
+      pc.bandwidth = config.bandwidth;
+      pc.reallocate_on_flow_completion = true;
+      pc.track_queue_crossings = true;
+      auto aalo = packet::MakeAaloAllocator();
+      cmp.aalo = packet::ReplayPacketTrace(trace, *aalo, pc).cct;
+    });
   }
+  const int threads =
+      config.threads <= 0 ? runtime::HardwareConcurrency() : config.threads;
+  runtime::ThreadPool pool(
+      std::min<int>(threads, static_cast<int>(replays.size())));
+  pool.ParallelFor(0, replays.size(),
+                   [&](std::size_t i) { replays[i](); });
   return cmp;
 }
 

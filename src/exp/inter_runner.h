@@ -24,6 +24,12 @@ struct InterRunConfig {
   /// Optional structured event tracer for the Sunflow circuit replay
   /// (packet baselines are not traced).
   obs::TraceSink* sink = nullptr;
+  /// Worker threads. The three replays (Sunflow circuit, Varys, Aalo) are
+  /// independent whole-trace simulations, so they fan out across up to
+  /// three workers; each writes its own CCT map, keeping the comparison
+  /// bit-identical at any thread count. 1 (default) runs serially inline,
+  /// <= 0 uses all hardware threads. Benches wire the --threads flag here.
+  int threads = 1;
 };
 
 struct InterComparison {

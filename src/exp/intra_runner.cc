@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "obs/metrics.h"
+#include "runtime/sweep.h"
 #include "sched/executor.h"
 #include "trace/bounds.h"
 #include "trace/demand_matrix.h"
@@ -55,7 +56,8 @@ void RunSunflowOne(const Coflow& coflow, PortId num_ports,
   const Coflow at_zero = coflow.WithArrival(0);
   SunflowSchedule schedule;
   {
-    static obs::Histogram& compute_ns =
+    // thread_local: GlobalMetrics() shards per thread (see obs/metrics.h).
+    static thread_local obs::Histogram& compute_ns =
         obs::GlobalMetrics().GetHistogram("scheduler.sunflow.compute_ns");
     obs::ScopedTimer timer(compute_ns);
     schedule = ScheduleSingleCoflow(at_zero, num_ports, sc, sink);
@@ -99,33 +101,51 @@ IntraRunResult RunIntra(const Trace& trace, IntraAlgorithm algorithm,
   IntraRunResult result;
   result.algorithm = ToString(algorithm);
   result.config = config;
-  result.records.reserve(trace.coflows.size());
-  // Intra mode evaluates coflows in isolation but the paper's framing is
-  // sequential; the tracer sees them laid end-to-end on one clock.
-  obs::OffsetSink sequenced(config.sink);
-  obs::TraceSink* sink = config.sink != nullptr ? &sequenced : nullptr;
-  Time clock = 0;
-  for (const Coflow& coflow : trace.coflows) {
-    IntraRecord rec = BaseRecord(coflow, config);
-    sequenced.set_offset(clock);
-    if (sink != nullptr) {
-      obs::Emit(sink, {.type = obs::EventType::kCoflowAdmitted,
-                       .t = 0,
-                       .coflow = coflow.id()});
+
+  // Each coflow is evaluated in isolation, which makes this the canonical
+  // sweep: one task per coflow, records written to their own slots, events
+  // buffered per task. Results are bit-identical at any thread count.
+  runtime::SweepConfig sweep_cfg;
+  sweep_cfg.threads = config.threads;
+  sweep_cfg.base_seed = config.shuffle_seed;
+  runtime::SweepRunner runner(sweep_cfg);
+  auto sweep = runner.Run<IntraRecord>(
+      trace.coflows.size(), config.sink != nullptr,
+      [&](runtime::TaskContext& ctx) {
+        const Coflow& coflow = trace.coflows[ctx.index];
+        IntraRecord rec = BaseRecord(coflow, config);
+        if (ctx.sink != nullptr) {
+          obs::Emit(ctx.sink, {.type = obs::EventType::kCoflowAdmitted,
+                               .t = 0,
+                               .coflow = coflow.id()});
+        }
+        if (algorithm == IntraAlgorithm::kSunflow) {
+          RunSunflowOne(coflow, trace.num_ports, config, rec, ctx.sink);
+        } else {
+          RunBaselineOne(coflow, algorithm, config, rec, ctx.sink);
+        }
+        if (ctx.sink != nullptr) {
+          obs::Emit(ctx.sink, {.type = obs::EventType::kCoflowCompleted,
+                               .t = rec.cct,
+                               .coflow = coflow.id(),
+                               .value = rec.cct});
+        }
+        return rec;
+      });
+  result.records = std::move(sweep.results);
+
+  // The paper's framing is sequential ("a Coflow arrives only after the
+  // previous one is finished"): merge the per-task buffers in task order,
+  // shifting each coflow onto the shared end-to-end clock — the same
+  // stream a serial run emits through an OffsetSink.
+  if (config.sink != nullptr) {
+    obs::OffsetSink sequenced(config.sink);
+    Time clock = 0;
+    for (std::size_t i = 0; i < sweep.events.size(); ++i) {
+      sequenced.set_offset(clock);
+      for (const obs::Event& e : sweep.events[i]) sequenced.OnEvent(e);
+      clock += result.records[i].cct;
     }
-    if (algorithm == IntraAlgorithm::kSunflow) {
-      RunSunflowOne(coflow, trace.num_ports, config, rec, sink);
-    } else {
-      RunBaselineOne(coflow, algorithm, config, rec, sink);
-    }
-    if (sink != nullptr) {
-      obs::Emit(sink, {.type = obs::EventType::kCoflowCompleted,
-                       .t = rec.cct,
-                       .coflow = coflow.id(),
-                       .value = rec.cct});
-    }
-    clock += rec.cct;
-    result.records.push_back(rec);
   }
   return result;
 }

@@ -40,6 +40,12 @@ struct IntraRunConfig {
   /// finished"), so each coflow's events are shifted onto a shared
   /// sequential clock before emission.
   obs::TraceSink* sink = nullptr;
+  /// Worker threads for the per-coflow fan-out (runtime::SweepRunner).
+  /// Coflows are evaluated in isolation, so records, metrics counts and
+  /// the merged event stream are bit-identical at any thread count;
+  /// 1 (default) runs inline on the caller, <= 0 uses all hardware
+  /// threads. Benches wire this to the shared --threads flag.
+  int threads = 1;
 };
 
 /// Per-coflow record: identity, bounds and measured performance.

@@ -84,6 +84,7 @@ void WriteJsonl(std::ostream& out, std::span<const Event> events) {
 }
 
 void JsonlStreamSink::OnEvent(const Event& event) {
+  SUNFLOW_DCHECK(guard_.CheckCurrentThread());
   WriteJsonlEvent(out_, event);
 }
 

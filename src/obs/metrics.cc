@@ -1,8 +1,10 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <ostream>
+#include <unordered_map>
 
 namespace sunflow::obs {
 
@@ -45,6 +47,16 @@ double Histogram::ValueAtPercentile(double pct) const {
     if (cum >= target) return std::clamp(BucketMid(index), min_, max_);
   }
   return max_;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+  underflow_ += other.underflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
 }
 
 void Histogram::Reset() {
@@ -149,8 +161,93 @@ void MetricsRegistry::Reset() {
   for (auto& [name, h] : histograms_) h.Reset();
 }
 
-MetricsRegistry& GlobalMetrics() {
-  static MetricsRegistry registry;
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_)
+    GetCounter(name).Increment(c.value());
+  for (const auto& [name, g] : other.gauges_) GetGauge(name).Add(g.value());
+  for (const auto& [name, h] : other.histograms_)
+    GetHistogram(name).MergeFrom(h);
+}
+
+namespace {
+
+/// The calling thread's shard cache. Keyed by registry identity (pointer
+/// + incarnation id) so a registry destroyed and reallocated at the same
+/// address misses instead of resolving to a dangling shard.
+struct ShardSlot {
+  std::uint64_t id = 0;
+  MetricsRegistry* shard = nullptr;
+};
+
+std::uint64_t NextRegistryId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ShardedMetricsRegistry::ShardedMetricsRegistry() : id_(NextRegistryId()) {}
+
+MetricsRegistry& ShardedMetricsRegistry::Shard() {
+  thread_local std::unordered_map<const ShardedMetricsRegistry*, ShardSlot>
+      cache;
+  ShardSlot& slot = cache[this];
+  if (slot.shard != nullptr && slot.id == id_) return *slot.shard;
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<MetricsRegistry>());
+  slot = {id_, shards_.back().get()};
+  return *slot.shard;
+}
+
+MetricsRegistry ShardedMetricsRegistry::Merged() const {
+  MetricsRegistry merged;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) merged.MergeFrom(*shard);
+  return merged;
+}
+
+std::vector<MetricRow> ShardedMetricsRegistry::Rows() const {
+  return Merged().Rows();
+}
+
+void ShardedMetricsRegistry::WriteText(std::ostream& out) const {
+  Merged().WriteText(out);
+}
+
+namespace {
+/// Backing store for ShardedMetricsRegistry::Find* — a merged snapshot
+/// that stays alive until the same thread's next Find* call.
+MetricsRegistry& FindSnapshot() {
+  thread_local MetricsRegistry snapshot;
+  return snapshot;
+}
+}  // namespace
+
+const Counter* ShardedMetricsRegistry::FindCounter(
+    std::string_view name) const {
+  FindSnapshot() = Merged();
+  return FindSnapshot().FindCounter(name);
+}
+
+const Gauge* ShardedMetricsRegistry::FindGauge(std::string_view name) const {
+  FindSnapshot() = Merged();
+  return FindSnapshot().FindGauge(name);
+}
+
+const Histogram* ShardedMetricsRegistry::FindHistogram(
+    std::string_view name) const {
+  FindSnapshot() = Merged();
+  return FindSnapshot().FindHistogram(name);
+}
+
+void ShardedMetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) shard->Reset();
+}
+
+ShardedMetricsRegistry& GlobalMetrics() {
+  static ShardedMetricsRegistry& registry =
+      *new ShardedMetricsRegistry();  // leaked: outlives worker threads
   return registry;
 }
 

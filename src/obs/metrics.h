@@ -12,9 +12,18 @@
 //   starvation.rounds        counter, τ spans executed
 //
 // Instruments are created on first use and never move (node-based map), so
-// hot paths may cache references. All instruments are single-threaded like
-// the simulator; Reset() zeroes values but keeps registrations (cached
-// references stay valid).
+// hot paths may cache references. Threading follows the sharded-merge
+// contract of src/runtime's sweep engine: a plain MetricsRegistry is a
+// single-threaded shard, and the process-wide GlobalMetrics() is a
+// ShardedMetricsRegistry whose Get* calls resolve to the *calling
+// thread's* private shard (so recording is lock- and race-free) and whose
+// Rows()/WriteText()/Merged() fold all shards together commutatively —
+// counters and histogram buckets sum, so the merged view is identical at
+// any thread count. Collect only after workers have quiesced (e.g. after
+// ParallelFor returned). Hot paths that cache an instrument reference must
+// cache it `thread_local`, never plain `static`, or every thread would
+// write the first caller's shard. Reset() zeroes values but keeps
+// registrations (cached references stay valid).
 #pragma once
 
 #include <chrono>
@@ -22,6 +31,8 @@
 #include <iosfwd>
 #include <limits>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -68,6 +79,12 @@ class Histogram {
   /// same "nearest-rank on bucket midpoints" definition HDR histograms
   /// use; 0 for an empty histogram.
   double ValueAtPercentile(double pct) const;
+
+  /// Folds another histogram in (bucket-wise sum). Merging per-shard
+  /// histograms that recorded the same multiset of values yields the same
+  /// state as one histogram recording them all — the sharded-merge
+  /// equivalence tests/runtime_test.cc locks in.
+  void MergeFrom(const Histogram& other);
 
   void Reset();
 
@@ -119,14 +136,67 @@ class MetricsRegistry {
   /// Zeroes every instrument, keeping registrations and addresses.
   void Reset();
 
+  /// Folds another registry in: counters and histograms sum, gauges add
+  /// their values (shards track deltas under fan-out).
+  void MergeFrom(const MetricsRegistry& other);
+
  private:
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
+/// Thread-safe façade over per-thread MetricsRegistry shards. Recording
+/// (Get*) touches only the calling thread's shard — no locks, no atomics,
+/// no false sharing on the hot path; the one-time shard creation takes a
+/// mutex. Reading (Rows/WriteText/Merged/Find*) folds all shards together
+/// and must only run once concurrent writers have quiesced (after the
+/// pool's ParallelFor returned / the pool was destroyed).
+class ShardedMetricsRegistry {
+ public:
+  ShardedMetricsRegistry();
+  ShardedMetricsRegistry(const ShardedMetricsRegistry&) = delete;
+  ShardedMetricsRegistry& operator=(const ShardedMetricsRegistry&) = delete;
+
+  /// The calling thread's shard (created on first use). Instrument
+  /// references obtained from it are stable but thread-bound: cache them
+  /// `thread_local`, never plain `static`.
+  MetricsRegistry& Shard();
+
+  Counter& GetCounter(std::string_view name) {
+    return Shard().GetCounter(name);
+  }
+  Gauge& GetGauge(std::string_view name) { return Shard().GetGauge(name); }
+  Histogram& GetHistogram(std::string_view name) {
+    return Shard().GetHistogram(name);
+  }
+
+  /// Merged snapshot of every shard. Quiesce writers first.
+  MetricsRegistry Merged() const;
+
+  /// Merged read-only views (same contract as Merged). The returned rows
+  /// are identical at any thread count for the same recorded values.
+  std::vector<MetricRow> Rows() const;
+  void WriteText(std::ostream& out) const;
+
+  /// Merged lookups: null when no shard ever created the instrument. The
+  /// pointee is a snapshot owned by an internal buffer that is replaced on
+  /// the next Find* call from the same thread — read it immediately.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Zeroes every instrument in every shard (registrations survive).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<MetricsRegistry>> shards_;
+  std::uint64_t id_ = 0;  ///< distinguishes reincarnations at one address
+};
+
 /// The process-wide registry used by the built-in instrumentation.
-MetricsRegistry& GlobalMetrics();
+ShardedMetricsRegistry& GlobalMetrics();
 
 /// Records the scope's wall-clock duration (nanoseconds) into a histogram
 /// on destruction.

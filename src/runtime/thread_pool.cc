@@ -1,0 +1,130 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <utility>
+
+namespace sunflow::runtime {
+
+int HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+    : size_(threads <= 0 ? HardwareConcurrency() : threads) {
+  workers_.reserve(static_cast<std::size_t>(size_ - 1));
+  for (int i = 1; i < size_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain-before-join: queued work still runs after stop_ is set.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor call. Tasks are claimed with an atomic
+/// counter; the first failure (by lowest index) wins and unclaimed tasks
+/// are skipped from then on.
+struct ForState {
+  std::atomic<std::size_t> next;
+  std::size_t end = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int active_helpers = 0;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+
+  void RunLoop() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      if (failed.load(std::memory_order_relaxed)) continue;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mu);
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (workers_.empty() || end - begin == 1) {
+    // Serial reference schedule: strictly ascending order, fail fast.
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->fn = &fn;
+
+  // One helper per worker, capped by the number of tasks (the caller
+  // claims tasks too, so even zero helpers would make progress).
+  const std::size_t helpers =
+      std::min(workers_.size(), end - begin - 1);
+  state->active_helpers = static_cast<int>(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Submit([state] {
+      state->RunLoop();
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (--state->active_helpers == 0) state->done_cv.notify_all();
+    });
+  }
+
+  state->RunLoop();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->active_helpers == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace sunflow::runtime

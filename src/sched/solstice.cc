@@ -7,7 +7,9 @@ namespace sunflow {
 
 AssignmentSchedule ScheduleSolstice(const DemandMatrix& demand,
                                     const SolsticeConfig& config) {
-  static obs::Histogram& compute_ns =
+  // thread_local, not static: GlobalMetrics() shards per thread, so a
+  // plain static would pin every thread to the first caller's shard.
+  static thread_local obs::Histogram& compute_ns =
       obs::GlobalMetrics().GetHistogram("scheduler.solstice.compute_ns");
   obs::ScopedTimer timer(compute_ns);
   SUNFLOW_CHECK_MSG(demand.rows() == demand.cols(),

@@ -26,7 +26,8 @@ void SubtractServed(DemandMatrix& remaining,
 
 AssignmentSchedule ScheduleTms(const DemandMatrix& demand,
                                const TmsConfig& config) {
-  static obs::Histogram& compute_ns =
+  // thread_local: GlobalMetrics() shards per thread (see obs/metrics.h).
+  static thread_local obs::Histogram& compute_ns =
       obs::GlobalMetrics().GetHistogram("scheduler.tms.compute_ns");
   obs::ScopedTimer timer(compute_ns);
   SUNFLOW_CHECK_MSG(demand.rows() == demand.cols(),

@@ -26,10 +26,15 @@ struct FuzzCase {
 
 std::string CaseName(const ::testing::TestParamInfo<FuzzCase>& info) {
   const FuzzCase& p = info.param;
-  std::string name = "s" + std::to_string(p.seed) + "_d" +
-                     std::to_string(static_cast<int>(p.delta * 1e6)) + "us_" +
-                     ToString(p.order) + (p.quantum > 0 ? "_q" : "") +
-                     (p.carry_over ? "_carry" : "") + (p.fifo ? "_fifo" : "");
+  std::string name = "s";
+  name += std::to_string(p.seed);
+  name += "_d";
+  name += std::to_string(static_cast<int>(p.delta * 1e6));
+  name += "us_";
+  name += ToString(p.order);
+  if (p.quantum > 0) name += "_q";
+  if (p.carry_over) name += "_carry";
+  if (p.fifo) name += "_fifo";
   return name;
 }
 
