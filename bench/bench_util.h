@@ -15,6 +15,7 @@
 
 #include "common/cli.h"
 #include "exp/csv_export.h"
+#include "sim/engine/scenario.h"
 #include "obs/chrome_trace.h"
 #include "obs/jsonl.h"
 #include "obs/metrics.h"
@@ -75,6 +76,24 @@ inline int Threads(CliFlags& flags) {
       "worker threads for parallel sweeps (0 = all hardware threads; "
       "output is identical at any value)");
   return n <= 0 ? runtime::HardwareConcurrency() : static_cast<int>(n);
+}
+
+/// The shared --engine flag: which registered simulation-kernel scenario
+/// (sim/engine) replays the trace. Inter benches default to "circuit"
+/// (the paper's Sunflow replay); intra benches default to "" — the direct
+/// single-coflow planner path, with a name opting into the kernel. The
+/// help text lists the registry so new scenarios are discoverable without
+/// touching the benches.
+inline std::string Engine(CliFlags& flags, const std::string& def) {
+  std::string names;
+  for (const auto& [name, desc] : engine::ScenarioRegistry::Global().List()) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  return flags.GetString(
+      "engine", def,
+      "simulation kernel scenario (registered: " + names +
+          (def.empty() ? "; empty = direct planner path)" : ")"));
 }
 
 /// Standard preamble: handles --help, prints the workload banner.

@@ -14,13 +14,14 @@
 #include "common/table.h"
 #include "core/policy.h"
 #include "runtime/thread_pool.h"
-#include "sim/circuit_replay.h"
+#include "sim/engine/scenario.h"
 
 int main(int argc, char** argv) {
   using namespace sunflow;
   CliFlags flags(argc, argv);
   bench::Workload w = bench::LoadWorkload(flags);
   const int threads = bench::Threads(flags);
+  const std::string engine_name = bench::Engine(flags, "circuit");
   if (bench::HandleHelp(flags, "Figure 10: inter sensitivity to delta"))
     return 0;
   bench::Banner("Figure 10 — inter-Coflow CCT vs delta (normalized to 10ms)",
@@ -34,15 +35,16 @@ int main(int argc, char** argv) {
       {"100ms", Millis(100)}, {"10ms", Millis(10)},   {"1ms", Millis(1)},
       {"100us", Micros(100)}, {"10us", Micros(10)},
   };
-  std::vector<CircuitReplayResult> results(deltas.size());
+  std::vector<engine::EngineResult> results(deltas.size());
   {
     runtime::ThreadPool pool(
         std::min<int>(threads, static_cast<int>(deltas.size())));
     pool.ParallelFor(0, deltas.size(), [&](std::size_t i) {
-      CircuitReplayConfig cfg;
+      engine::EngineConfig cfg;
       cfg.sunflow.bandwidth = Gbps(1);
       cfg.sunflow.delta = deltas[i].second;
-      results[i] = ReplayCircuitTrace(w.trace, *policy, cfg);
+      results[i] = engine::ScenarioRegistry::Global().Run(
+          engine_name, w.trace, policy.get(), cfg);
     });
   }
   const auto& base = results[1];  // the 10 ms point

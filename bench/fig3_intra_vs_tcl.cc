@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   bench::Workload w = bench::LoadWorkload(flags);
   const double delta_ms = flags.GetDouble("delta_ms", 10.0, "δ in ms");
   const int threads = bench::Threads(flags);
+  const std::string engine = bench::Engine(flags, "");
   if (bench::HandleHelp(flags, "Figure 3: CCT vs TcL across link rates"))
     return 0;
   bench::Banner("Figure 3 — CCT/TcL for Sunflow and Solstice", w);
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
       cfg.bandwidth = Gbps(gbps);
       cfg.delta = Millis(delta_ms);
       cfg.threads = threads;
+      cfg.engine = engine;
       const auto run = RunIntra(w.trace, algorithm, cfg);
       const auto ratios =
           run.Collect([](const IntraRecord& r) { return r.CctOverTcl(); });
@@ -58,6 +60,7 @@ int main(int argc, char** argv) {
   IntraRunConfig cfg;
   cfg.delta = Millis(delta_ms);
   cfg.threads = threads;
+  cfg.engine = engine;
   TextTable cat("Per-category mean CCT/TcL at 1 Gbps");
   cat.SetHeader({"algorithm", "O2O", "O2M", "M2O", "M2M"});
   for (auto algorithm :

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   bench::Workload w = bench::LoadWorkload(flags);
   const int threads = bench::Threads(flags);
+  const std::string engine = bench::Engine(flags, "");
   if (bench::HandleHelp(flags, "Figure 4: M2M CDFs of CCT over bounds"))
     return 0;
   bench::Banner("Figure 4 — CCT over lower bounds on many-to-many coflows",
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
 
   IntraRunConfig cfg;
   cfg.threads = threads;
+  cfg.engine = engine;
   TextTable table("M2M summary");
   table.SetHeader({"series", "mean", "p50", "p95", "max"});
   for (auto algorithm :

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   bench::Workload w = bench::LoadWorkload(flags);
   const int threads = bench::Threads(flags);
+  const std::string engine = bench::Engine(flags, "");
   bench::BenchTracer tracer(flags);
   if (bench::HandleHelp(flags, "Figure 5: normalized switching counts"))
     return 0;
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   IntraRunConfig cfg;
   cfg.sink = tracer.sink();
   cfg.threads = threads;
+  cfg.engine = engine;
   TextTable table("Normalized switching count (M2M)");
   table.SetHeader(
       {"algorithm", "mean", "p50", "p95", "max", "corr(norm, |C|)"});

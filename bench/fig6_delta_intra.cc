@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const bool include_solstice = flags.GetBool(
       "solstice", true, "also sweep Solstice for the §5.3.1 comparison");
   const int threads = bench::Threads(flags);
+  const std::string engine = bench::Engine(flags, "");
   if (bench::HandleHelp(flags, "Figure 6: intra sensitivity to delta"))
     return 0;
   bench::Banner("Figure 6 — intra-Coflow CCT vs delta (normalized to 10ms)",
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
     IntraRunConfig base_cfg;
     base_cfg.delta = Millis(10);
     base_cfg.threads = threads;
+    base_cfg.engine = engine;
     const auto base = RunIntra(w.trace, algorithm, base_cfg);
     std::map<CoflowId, double> base_cct;
     for (const auto& rec : base.records) base_cct[rec.id] = rec.cct;
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
       IntraRunConfig cfg;
       cfg.delta = delta;
       cfg.threads = threads;
+      cfg.engine = engine;
       const auto run = RunIntra(w.trace, algorithm, cfg);
       std::vector<double> normalized;
       for (const auto& rec : run.records) {

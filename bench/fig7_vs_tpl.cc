@@ -23,12 +23,14 @@ int main(int argc, char** argv) {
   const std::string csv_out = flags.GetString(
       "csv_out", "", "write per-coflow (tpl, cct, pavg, long) rows here");
   const int threads = bench::Threads(flags);
+  const std::string engine = bench::Engine(flags, "");
   if (bench::HandleHelp(flags, "Figure 7: Sunflow CCT vs TpL")) return 0;
   bench::Banner("Figure 7 — Sunflow CCT vs packet lower bound", w);
 
   IntraRunConfig cfg;
   cfg.delta = Millis(delta_ms);
   cfg.threads = threads;
+  cfg.engine = engine;
   const auto run = RunIntra(w.trace, IntraAlgorithm::kSunflow, cfg);
 
   std::vector<double> all_r, long_r, short_r, pavg, lemma2_bound;

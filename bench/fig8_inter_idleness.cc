@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   bench::Workload w = bench::LoadWorkload(flags);
   const double delta_ms = flags.GetDouble("delta_ms", 10.0, "δ in ms");
   const int threads = bench::Threads(flags);
+  const std::string engine = bench::Engine(flags, "circuit");
   bench::BenchTracer tracer(flags);
   if (bench::HandleHelp(flags, "Figure 8: inter-Coflow avg CCT vs idleness"))
     return 0;
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
 
   InterRunConfig cfg;
   cfg.delta = Millis(delta_ms);
+  cfg.engine = engine;
   cfg.threads = threads;  // the 3 replays per comparison run fan out
   // Trace only the original-load Sunflow replay (Part 1); the idleness
   // sweep below reuses cfg without the sink.

@@ -24,12 +24,14 @@ int main(int argc, char** argv) {
   const std::string csv_out = flags.GetString(
       "csv_out", "", "write per-coflow (tpl, dcct_varys, dcct_aalo) here");
   const int threads = bench::Threads(flags);
+  const std::string engine = bench::Engine(flags, "circuit");
   if (bench::HandleHelp(flags, "Figure 9: per-coflow delta-CCT vs TpL"))
     return 0;
   bench::Banner("Figure 9 — Sunflow CCT minus Varys/Aalo CCT by TpL", w);
 
   InterRunConfig cfg;
   cfg.delta = Millis(delta_ms);
+  cfg.engine = engine;
   cfg.threads = threads;  // Sunflow/Varys/Aalo replays fan out
   const auto cmp = RunInterComparison(w.trace, cfg);
 

@@ -5,10 +5,12 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "core/policy.h"
 #include "packet/aalo.h"
 #include "packet/replay.h"
 #include "packet/varys.h"
 #include "runtime/thread_pool.h"
+#include "sim/engine/scenario.h"
 #include "trace/bounds.h"
 
 namespace sunflow::exp {
@@ -57,13 +59,15 @@ InterComparison RunInterComparison(const Trace& trace,
   // caller's sink, so the one-sink-per-task contract holds.
   std::vector<std::function<void()>> replays;
   replays.push_back([&] {
-    CircuitReplayConfig rc;
-    rc.sunflow.bandwidth = config.bandwidth;
-    rc.sunflow.delta = config.delta;
-    rc.carry_over_circuits = config.carry_over_circuits;
-    rc.sink = config.sink;
+    engine::EngineConfig ec;
+    ec.sunflow.bandwidth = config.bandwidth;
+    ec.sunflow.delta = config.delta;
+    ec.carry_over_circuits = config.carry_over_circuits;
+    ec.sink = config.sink;
     const auto policy = MakeShortestFirstPolicy();
-    cmp.sunflow = ReplayCircuitTrace(trace, *policy, rc).cct;
+    cmp.sunflow = engine::ScenarioRegistry::Global()
+                      .Run(config.engine, trace, policy.get(), ec)
+                      .cct;
   });
   if (config.run_varys) {
     replays.push_back([&] {

@@ -19,6 +19,11 @@ struct InterRunConfig {
   Bandwidth bandwidth = Gbps(1);
   Time delta = Millis(10);
   bool carry_over_circuits = true;
+  /// Named kernel scenario (sim/engine registry) for the optical-switch
+  /// arm of the comparison. "circuit" is the paper's Sunflow replay;
+  /// other registered scenarios ("guarded", "rotor", "hybrid") slot in
+  /// unchanged for ablations. Benches wire the shared --engine flag here.
+  std::string engine = "circuit";
   bool run_varys = true;
   bool run_aalo = true;
   /// Optional structured event tracer for the Sunflow circuit replay

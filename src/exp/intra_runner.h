@@ -29,6 +29,12 @@ struct IntraRunConfig {
   /// Sunflow only: reservation ordering (§5.3.1 sensitivity).
   ReservationOrder order = ReservationOrder::kOrderedPort;
   std::uint64_t shuffle_seed = 1;
+  /// Sunflow only: named kernel scenario (sim/engine registry) to replay
+  /// each coflow through. Empty (default) keeps the direct single-coflow
+  /// planner + executor path; a name (e.g. "circuit") routes the coflow
+  /// through the shared discrete-event kernel instead, whose driver then
+  /// emits the admitted/completed events. Baseline algorithms ignore it.
+  std::string engine;
   /// Baselines only: execute the assignment sequence under the all-stop
   /// switch model instead of not-all-stop (ablation of §3.1.2).
   bool all_stop = false;

@@ -1,0 +1,20 @@
+// Internal: maps the legacy per-engine config structs onto the kernel's
+// EngineConfig. The public entry points in sim/*.h are thin adapters over
+// src/sim/engine/; most users want those, not this.
+#pragma once
+
+#include "sim/circuit_replay.h"
+#include "sim/engine/scenario.h"
+
+namespace sunflow::sim_detail {
+
+inline engine::EngineConfig ToEngineConfig(const CircuitReplayConfig& config) {
+  engine::EngineConfig ec;
+  ec.sunflow = config.sunflow;
+  ec.carry_over_circuits = config.carry_over_circuits;
+  ec.min_replan_interval = config.min_replan_interval;
+  ec.sink = config.sink;
+  return ec;
+}
+
+}  // namespace sunflow::sim_detail

@@ -1,272 +1,26 @@
+// Thin adapter: the plan → execute → replan loop lives in the kernel
+// (sim/engine/driver.h) as the "circuit" scenario; this entry point keeps
+// the historical API and result shape.
 #include "sim/circuit_replay.h"
 
-#include <algorithm>
-#include <chrono>
-#include <functional>
-#include <vector>
+#include <utility>
 
-#include "common/assert.h"
-#include "obs/metrics.h"
-#include "obs/trace_sink.h"
-#include "sim/replay_engine.h"
-#include "trace/bounds.h"
+#include "sim/adapter_util.h"
+#include "sim/engine/scenario.h"
 
 namespace sunflow {
-
-namespace sim_detail {
-
-// Remaining demand of one coflow during the replay, in bytes.
-struct ReplayCoflow {
-  CoflowId id = -1;
-  Time arrival = 0;  ///< release instant (CCT is measured from here)
-  Time static_tpl = 0;
-  Bytes total = 0;   ///< original demand (for attained-service policies)
-  std::map<std::pair<PortId, PortId>, Bytes> remaining;
-
-  Bytes remaining_bytes() const {
-    Bytes total = 0;
-    for (const auto& [pair, b] : remaining) total += b;
-    return total;
-  }
-  bool done() const {
-    for (const auto& [pair, b] : remaining)
-      if (b > kBytesEps) return false;
-    return true;
-  }
-  Time RemainingTpl(Bandwidth bandwidth) const {
-    std::map<PortId, Bytes> in_load, out_load;
-    for (const auto& [pair, b] : remaining) {
-      if (b <= kBytesEps) continue;
-      in_load[pair.first] += b;
-      out_load[pair.second] += b;
-    }
-    Bytes busiest = 0;
-    for (const auto& [p, v] : in_load) busiest = std::max(busiest, v);
-    for (const auto& [p, v] : out_load) busiest = std::max(busiest, v);
-    return busiest / bandwidth;
-  }
-};
-
-ReplayCoflow MakeReplayCoflow(const Coflow& coflow, Time release,
-                              Bandwidth bandwidth) {
-  ReplayCoflow rc;
-  rc.id = coflow.id();
-  rc.arrival = release;
-  rc.static_tpl = PacketLowerBound(coflow, bandwidth);
-  rc.total = coflow.total_bytes();
-  for (const Flow& f : coflow.flows()) rc.remaining[{f.src, f.dst}] = f.bytes;
-  return rc;
-}
-
-// The generic plan → execute → replan loop shared by trace replay and
-// DAG replay (declared in sim/replay_engine.h).
-CircuitReplayResult RunEngine(PortId num_ports, const PriorityPolicy& policy,
-                              const CircuitReplayConfig& config,
-                              std::vector<PendingCoflow> pending,
-                              const CompletionHook& on_complete) {
-  const Bandwidth bandwidth = config.sunflow.bandwidth;
-  SUNFLOW_CHECK(bandwidth > 0);
-
-  CircuitReplayResult result;
-  std::vector<ReplayCoflow> active;
-  std::size_t next_release = 0;
-  std::size_t total_coflows = pending.size();
-  Time t = 0;
-  Time last_plan = -kTimeInf;
-  EstablishedCircuits established;
-
-  std::size_t events = 0;
-
-  while (!active.empty() || next_release < pending.size()) {
-    // Every iteration consumes at least one release or completion; the
-    // hook can only add each coflow once.
-    SUNFLOW_CHECK_MSG(++events < 10 * total_coflows + 1000,
-                      "circuit replay event explosion");
-
-    if (active.empty()) {
-      t = std::max(t, pending[next_release].release);
-      established.clear();  // circuits idle away between bursts
-    }
-    while (next_release < pending.size() &&
-           pending[next_release].release <= t + kTimeEps) {
-      active.push_back(MakeReplayCoflow(*pending[next_release].coflow,
-                                        pending[next_release].release,
-                                        bandwidth));
-      obs::Emit(config.sink, {.type = obs::EventType::kCoflowAdmitted,
-                              .t = std::max(t, pending[next_release].release),
-                              .coflow = active.back().id});
-      ++next_release;
-    }
-
-    // --- Plan: InterCoflow over the active set in policy order. ---
-    std::vector<CoflowView> views;
-    views.reserve(active.size());
-    for (const auto& rc : active) {
-      const Bytes remaining_bytes = rc.remaining_bytes();
-      views.push_back({rc.id, rc.arrival, rc.RemainingTpl(bandwidth),
-                       rc.static_tpl, remaining_bytes, rc.remaining.size(),
-                       std::max(0.0, rc.total - remaining_bytes)});
-    }
-    const std::vector<std::size_t> order = policy.Order(views);
-    SUNFLOW_CHECK(order.size() == active.size());
-
-    SunflowPlanner planner(num_ports, config.sunflow);
-    if (config.carry_over_circuits && !established.empty()) {
-      planner.SetEstablishedCircuits(established, t);
-    }
-    std::vector<PlanRequest> requests;
-    requests.reserve(active.size());
-    for (std::size_t idx : order) {
-      const ReplayCoflow& rc = active[idx];
-      PlanRequest req;
-      req.coflow = rc.id;
-      req.start = t;
-      for (const auto& [pair, bytes] : rc.remaining) {
-        if (bytes > kBytesEps)
-          req.demand.push_back({pair.first, pair.second, bytes / bandwidth});
-      }
-      requests.push_back(std::move(req));
-    }
-    const auto plan_begin = std::chrono::steady_clock::now();
-    SunflowSchedule plan = planner.ScheduleAll(requests);
-    const auto plan_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                             std::chrono::steady_clock::now() - plan_begin)
-                             .count();
-    ++result.replans;
-    for (const auto& [id, count] : plan.reservation_count)
-      result.reservations[id] += count;
-    obs::GlobalMetrics()
-        .GetHistogram("scheduler.compute_ns")
-        .Record(static_cast<double>(plan_ns));
-    obs::GlobalMetrics().GetCounter("replay.replans").Increment();
-    obs::Emit(config.sink,
-              {.type = obs::EventType::kAssignmentComputed,
-               .t = t,
-               .value = static_cast<double>(plan_ns),
-               .count = static_cast<std::int64_t>(requests.size())});
-
-    last_plan = t;
-
-    // --- Next event: a release or the earliest planned completion. ---
-    Time t_next = kTimeInf;
-    if (next_release < pending.size()) {
-      // Throttled: a release only forces a replan once the minimum
-      // interval since the previous plan has elapsed; until then newly
-      // released coflows queue while the current plan keeps executing.
-      t_next = std::max(pending[next_release].release,
-                        last_plan + config.min_replan_interval);
-    }
-    for (const auto& rc : active) {
-      auto it = plan.completion_time.find(rc.id);
-      SUNFLOW_CHECK(it != plan.completion_time.end());
-      t_next = std::min(t_next, t + it->second);
-    }
-    SUNFLOW_CHECK_MSG(t_next < kTimeInf && t_next > t,
-                      "circuit replay stalled at t=" << t);
-
-    // --- Execute the plan over [t, t_next). ---
-    std::map<std::pair<PortId, PortId>,
-             std::vector<const CircuitReservation*>>
-        by_pair;
-    for (const auto& r : plan.reservations)
-      by_pair[{r.in, r.out}].push_back(&r);
-
-    for (auto& rc : active) {
-      for (auto& [pair, bytes] : rc.remaining) {
-        if (bytes <= kBytesEps) continue;
-        auto it = by_pair.find(pair);
-        if (it == by_pair.end()) continue;
-        Time served = 0;
-        for (const CircuitReservation* r : it->second) {
-          if (r->coflow != rc.id) continue;
-          const Time b = std::max(r->transmit_begin(), t);
-          const Time e = std::min(r->end, t_next);
-          if (e > b) served += e - b;
-        }
-        bytes = std::max(0.0, bytes - served * bandwidth);
-      }
-    }
-
-    // --- Trace the executed portion of the plan ([t, t_next) only;
-    // reservations superseded by the next replan never ran). ---
-    if (config.sink != nullptr) {
-      for (const auto& r : plan.reservations) {
-        if (r.start >= t_next - kTimeEps) continue;
-        const Time end = std::min(r.end, t_next);
-        obs::Emit(config.sink, {.type = obs::EventType::kCircuitSetup,
-                                .t = r.start,
-                                .dur = end - r.start,
-                                .coflow = r.coflow,
-                                .in = r.in,
-                                .out = r.out,
-                                .value = r.setup});
-        if (r.end <= t_next + kTimeEps) {
-          obs::Emit(config.sink, {.type = obs::EventType::kCircuitTeardown,
-                                  .t = r.end,
-                                  .coflow = r.coflow,
-                                  .in = r.in,
-                                  .out = r.out});
-        }
-      }
-    }
-
-    // --- Circuits up at the replan instant (for carry-over). ---
-    established.clear();
-    if (config.carry_over_circuits) {
-      for (const auto& r : plan.reservations) {
-        if (r.transmit_begin() <= t_next + kTimeEps &&
-            t_next < r.end - kTimeEps) {
-          established[r.in] = r.out;
-        }
-      }
-    }
-
-    t = t_next;
-
-    // --- Completions (may release dependent coflows via the hook). ---
-    for (auto it = active.begin(); it != active.end();) {
-      if (it->done()) {
-        result.cct[it->id] = t - it->arrival;
-        result.completion[it->id] = t;
-        result.makespan = std::max(result.makespan, t);
-        obs::Emit(config.sink, {.type = obs::EventType::kCoflowCompleted,
-                                .t = t,
-                                .coflow = it->id,
-                                .value = t - it->arrival});
-        if (on_complete) {
-          const std::size_t before = pending.size();
-          on_complete(it->id, t, pending);
-          total_coflows += pending.size() - before;
-          if (pending.size() > before) {
-            std::sort(pending.begin() +
-                          static_cast<std::ptrdiff_t>(next_release),
-                      pending.end(),
-                      [](const PendingCoflow& a, const PendingCoflow& b) {
-                        return a.release < b.release;
-                      });
-          }
-        }
-        it = active.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  return result;
-}
-
-}  // namespace sim_detail
 
 CircuitReplayResult ReplayCircuitTrace(const Trace& trace,
                                        const PriorityPolicy& policy,
                                        const CircuitReplayConfig& config) {
-  trace.Validate();
-  std::vector<sim_detail::PendingCoflow> pending;
-  pending.reserve(trace.coflows.size());
-  for (const Coflow& c : trace.coflows) pending.push_back({c.arrival(), &c});
-  auto result = sim_detail::RunEngine(trace.num_ports, policy, config,
-                                      std::move(pending), nullptr);
-  SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
+  engine::EngineResult er = engine::ScenarioRegistry::Global().Run(
+      "circuit", trace, &policy, sim_detail::ToEngineConfig(config));
+  CircuitReplayResult result;
+  result.cct = std::move(er.cct);
+  result.completion = std::move(er.completion);
+  result.reservations = std::move(er.reservations);
+  result.makespan = er.makespan;
+  result.replans = er.replans;
   return result;
 }
 

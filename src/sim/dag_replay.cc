@@ -1,9 +1,12 @@
 #include "sim/dag_replay.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/assert.h"
-#include "sim/replay_engine.h"
+#include "sim/adapter_util.h"
+#include "sim/engine/driver.h"
+#include "sim/engine/scenario.h"
 
 namespace sunflow {
 
@@ -102,20 +105,20 @@ DagReplayResult ReplayDagTrace(const Trace& trace, const CoflowDag& dag,
     for (CoflowId d : dependencies) dependents[d].push_back(id);
   }
 
-  std::vector<sim_detail::PendingCoflow> initial;
+  // Gated coflows enter the kernel's release queue when their last
+  // dependency completes; the rest are seeded up front.
+  engine::ReplayDriver driver(trace.num_ports, config.sink);
+  std::size_t initial = 0;
   for (const Coflow& c : trace.coflows) {
     if (unmet.find(c.id()) == unmet.end()) {
-      initial.push_back({c.arrival(), &c});
+      driver.state().PushRelease(c.arrival(), &c);
+      ++initial;
     }
   }
-  std::sort(initial.begin(), initial.end(),
-            [](const auto& a, const auto& b) { return a.release < b.release; });
-  SUNFLOW_CHECK_MSG(!initial.empty() || trace.coflows.empty(),
+  SUNFLOW_CHECK_MSG(initial > 0 || trace.coflows.empty(),
                     "every coflow is dependency-gated — nothing can start");
 
-  DagReplayResult result;
-  auto hook = [&](CoflowId done, Time now,
-                  std::vector<sim_detail::PendingCoflow>& pending) {
+  auto hook = [&](engine::SimState& state, CoflowId done, Time now) {
     auto it = dependents.find(done);
     if (it == dependents.end()) return;
     for (CoflowId dependent : it->second) {
@@ -123,16 +126,18 @@ DagReplayResult ReplayDagTrace(const Trace& trace, const CoflowDag& dag,
       SUNFLOW_CHECK(um != unmet.end() && um->second > 0);
       if (--um->second == 0) {
         const Coflow* c = by_id.at(dependent);
-        pending.push_back({std::max(now, c->arrival()), c});
+        state.PushRelease(std::max(now, c->arrival()), c);
       }
     }
   };
 
-  const auto engine_result = sim_detail::RunEngine(
-      trace.num_ports, policy, config, std::move(initial), hook);
+  auto scenario = engine::MakeCircuitScenario(
+      trace.num_ports, policy, sim_detail::ToEngineConfig(config), hook);
+  const engine::EngineResult engine_result = driver.Run(*scenario);
   SUNFLOW_CHECK_MSG(engine_result.cct.size() == trace.coflows.size(),
                     "DAG replay finished with unreleased coflows");
 
+  DagReplayResult result;
   result.cct = engine_result.cct;
   result.completion = engine_result.completion;
   Time first_arrival = kTimeInf;

@@ -1,0 +1,145 @@
+#include "sim/engine/driver.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+
+namespace sunflow::engine {
+
+EngineResult ReplayDriver::Run(ScenarioPolicy& scenario) {
+  SimState& s = state_;
+  Time t = 0;
+  std::size_t steps = 0;
+
+  while (!s.active().empty() || s.HasPendingReleases()) {
+    // Every iteration consumes at least one release or strictly advances
+    // time toward one; the budget trips non-advancing scenarios.
+    SUNFLOW_CHECK_MSG(++steps < scenario.StepBudget(s),
+                      scenario.budget_message());
+
+    if (s.active().empty()) {
+      t = std::max(t, s.NextReleaseTime());
+      scenario.OnIdleGap(s, t);
+    }
+    AdmitDue(scenario, t);
+    t = scenario.ExecuteSpan(*this, t);
+    Harvest(scenario, t);
+  }
+
+  s.result().queue = s.releases().stats();
+  auto& metrics = obs::GlobalMetrics();
+  metrics.GetCounter("engine.event_pushes").Increment(s.result().queue.pushes);
+  metrics.GetCounter("engine.event_pops").Increment(s.result().queue.pops);
+  return std::move(s.result());
+}
+
+void ReplayDriver::AdmitDue(ScenarioPolicy& scenario, Time t) {
+  auto& releases = state_.releases();
+  while (!releases.empty() && releases.next_time() <= t + kTimeEps) {
+    const auto entry = releases.Pop();
+    const Coflow& coflow = *entry.payload;
+    SimCoflow sc;
+    sc.id = coflow.id();
+    sc.arrival = entry.t;
+    sc.total = coflow.total_bytes();
+    for (const Flow& f : coflow.flows()) sc.remaining[{f.src, f.dst}] = f.bytes;
+    scenario.OnAdmit(sc, coflow, t);
+    const CoflowId id = sc.id;
+    state_.active().push_back(std::move(sc));
+    obs::Emit(state_.sink(), {.type = obs::EventType::kCoflowAdmitted,
+                              .t = std::max(t, entry.t),
+                              .coflow = id});
+  }
+}
+
+void ReplayDriver::Harvest(ScenarioPolicy& scenario, Time now) {
+  auto& active = state_.active();
+  EngineResult& result = state_.result();
+  for (auto it = active.begin(); it != active.end();) {
+    if (it->done()) {
+      // Fluid scenarios resolve exact finish instants mid-span
+      // (last_finish); the circuit planner's dust semantics finish at the
+      // span end.
+      const Time finish = it->last_finish > 0 ? it->last_finish : now;
+      result.cct[it->id] = finish - it->arrival;
+      result.completion[it->id] = finish;
+      result.max_service_gap[it->id] = it->max_gap;
+      result.makespan = std::max(result.makespan, finish);
+      obs::Emit(state_.sink(), {.type = obs::EventType::kCoflowCompleted,
+                                .t = finish,
+                                .coflow = it->id,
+                                .value = finish - it->arrival});
+      scenario.OnComplete(state_, *it, finish);
+      it = active.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ReplayDriver::NoteReplan(Time t, const SunflowSchedule& plan,
+                              double plan_ns, std::size_t num_requests) {
+  EngineResult& result = state_.result();
+  ++result.replans;
+  for (const auto& [id, count] : plan.reservation_count)
+    result.reservations[id] += count;
+  obs::GlobalMetrics().GetHistogram("scheduler.compute_ns").Record(plan_ns);
+  obs::GlobalMetrics().GetCounter("replay.replans").Increment();
+  obs::Emit(state_.sink(),
+            {.type = obs::EventType::kAssignmentComputed,
+             .t = t,
+             .value = plan_ns,
+             .count = static_cast<std::int64_t>(num_requests)});
+}
+
+void ReplayDriver::EmitExecutedPlan(const SunflowSchedule& plan,
+                                    Time /*t*/, Time t_next) {
+  if (state_.sink() == nullptr) return;
+  for (const auto& r : plan.reservations) {
+    if (r.start >= t_next - kTimeEps) continue;
+    const Time end = std::min(r.end, t_next);
+    obs::Emit(state_.sink(), {.type = obs::EventType::kCircuitSetup,
+                              .t = r.start,
+                              .dur = end - r.start,
+                              .coflow = r.coflow,
+                              .in = r.in,
+                              .out = r.out,
+                              .value = r.setup});
+    if (r.end <= t_next + kTimeEps) {
+      obs::Emit(state_.sink(), {.type = obs::EventType::kCircuitTeardown,
+                                .t = r.end,
+                                .coflow = r.coflow,
+                                .in = r.in,
+                                .out = r.out});
+    }
+  }
+}
+
+void ReplayDriver::NoteStarvationRound(Time span_begin, Time dur, int k) {
+  obs::GlobalMetrics().GetCounter("starvation.rounds").Increment();
+  obs::Emit(state_.sink(), {.type = obs::EventType::kStarvationRound,
+                            .t = span_begin,
+                            .dur = dur,
+                            .count = k});
+}
+
+void ReplayDriver::EmitFlowFinished(Time t, CoflowId coflow, PortId in,
+                                    PortId out) {
+  obs::Emit(state_.sink(), {.type = obs::EventType::kFlowFinished,
+                            .t = t,
+                            .coflow = coflow,
+                            .in = in,
+                            .out = out});
+}
+
+EngineResult RunScenarioReplay(const Trace& trace, ScenarioPolicy& scenario,
+                               obs::TraceSink* sink) {
+  ReplayDriver driver(trace.num_ports, sink);
+  for (const Coflow& c : trace.coflows)
+    driver.state().PushRelease(c.arrival(), &c);
+  return driver.Run(scenario);
+}
+
+}  // namespace sunflow::engine

@@ -1,0 +1,70 @@
+// ReplayDriver — the single plan → execute-until-next-event → replan loop
+// behind every replay engine, and the only place obs events are emitted.
+//
+// Tie-break contract for simultaneous events (docs/engine.md):
+//   1. Completions at instant t are processed before releases at t: the
+//      driver harvests the active set after each executed span, then admits
+//      releases due at the new time at the top of the next iteration — so a
+//      replan at t sees the departures first and the arrivals second, which
+//      is also when a dependency-gated release triggered *at* t is admitted.
+//   2. Among releases at the same instant, admission is FIFO in push order
+//      (the event queue's (time, seq) key) — trace order for initial
+//      releases, hook order for gated ones.
+//   3. "Due" is tolerance-inclusive: a release at r is admitted at t when
+//      r ≤ t + kTimeEps, matching every other kTimeEps comparison.
+#pragma once
+
+#include "core/sunflow.h"
+#include "sim/engine/scenario.h"
+#include "sim/engine/state.h"
+
+namespace sunflow::engine {
+
+class ReplayDriver {
+ public:
+  ReplayDriver(PortId num_ports, obs::TraceSink* sink)
+      : state_(num_ports, sink) {}
+
+  /// Seed releases via state().PushRelease(), then Run. Every pushed coflow
+  /// appears in the result exactly once.
+  SimState& state() { return state_; }
+
+  /// The replan loop. Each iteration: fast-forward over an idle gap if the
+  /// active set is empty, admit due releases, let the scenario execute one
+  /// span, harvest completions at the span end. Consumes the driver.
+  EngineResult Run(ScenarioPolicy& scenario);
+
+  // --- Emission helpers (scenarios call these; they never emit directly,
+  // so every scenario shares identical event + metrics semantics). -------
+
+  /// One replan: bumps replans/reservation counts and the scheduler
+  /// metrics, emits kAssignmentComputed.
+  void NoteReplan(Time t, const SunflowSchedule& plan, double plan_ns,
+                  std::size_t num_requests);
+
+  /// kCircuitSetup/kCircuitTeardown spans for the executed portion of a
+  /// plan ([t, t_next) only; reservations superseded by the next replan
+  /// never ran).
+  void EmitExecutedPlan(const SunflowSchedule& plan, Time t, Time t_next);
+
+  /// One τ round of the starvation guard: bumps `starvation.rounds`, emits
+  /// kStarvationRound.
+  void NoteStarvationRound(Time span_begin, Time dur, int k);
+
+  /// A flow drained to zero at `t` on circuit (in → out).
+  void EmitFlowFinished(Time t, CoflowId coflow, PortId in, PortId out);
+
+ private:
+  void AdmitDue(ScenarioPolicy& scenario, Time t);
+  void Harvest(ScenarioPolicy& scenario, Time now);
+
+  SimState state_;
+};
+
+/// Front door: seeds one release per trace coflow at its arrival and runs
+/// `scenario`. Callers needing custom releases (DAG gating) drive a
+/// ReplayDriver directly.
+EngineResult RunScenarioReplay(const Trace& trace, ScenarioPolicy& scenario,
+                               obs::TraceSink* sink);
+
+}  // namespace sunflow::engine

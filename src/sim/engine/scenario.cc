@@ -1,0 +1,68 @@
+#include "sim/engine/scenario.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace sunflow::engine {
+
+ScenarioRegistry& ScenarioRegistry::Global() {
+  // Leaked singleton; built-ins are registered before first use so a
+  // registry obtained here is never half-initialized.
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    RegisterBuiltinScenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ScenarioRegistry::Register(std::string name, std::string description,
+                                ScenarioFn run) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool inserted =
+      scenarios_
+          .emplace(std::move(name),
+                   std::make_pair(std::move(description), std::move(run)))
+          .second;
+  SUNFLOW_CHECK_MSG(inserted, "scenario registered twice");
+}
+
+bool ScenarioRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scenarios_.count(name) > 0;
+}
+
+EngineResult ScenarioRegistry::Run(const std::string& name, const Trace& trace,
+                                   const PriorityPolicy* policy,
+                                   const EngineConfig& config) const {
+  ScenarioFn run;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = scenarios_.find(name);
+    if (it == scenarios_.end()) {
+      std::string names;
+      for (const auto& [n, entry] : scenarios_) {
+        if (!names.empty()) names += ", ";
+        names += n;
+      }
+      SUNFLOW_CHECK_MSG(false, "unknown scenario '" << name
+                                                    << "' — registered: "
+                                                    << names);
+    }
+    run = it->second.second;
+  }
+  return run(trace, policy, config);
+}
+
+std::vector<std::pair<std::string, std::string>> ScenarioRegistry::List()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, entry] : scenarios_)
+    out.emplace_back(name, entry.first);
+  return out;
+}
+
+}  // namespace sunflow::engine

@@ -1,0 +1,518 @@
+// The built-in scenarios: "circuit" (Sunflow replan-on-events replay),
+// "guarded" (the §4.2 starvation guard's (T + τ) cadence), "rotor" (blind
+// Φ rotation) and "hybrid" (circuit + companion packet fabric). Each is a
+// direct port of a former standalone engine loop onto the kernel; the
+// arithmetic — summation order, dust handling, ε comparisons — is
+// preserved expression-for-expression so replays are bit-identical to the
+// pre-kernel engines.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "packet/replay.h"
+#include "packet/varys.h"
+#include "sim/engine/driver.h"
+#include "sim/engine/scenario.h"
+#include "trace/bounds.h"
+
+namespace sunflow::engine {
+
+namespace {
+
+// How executed service is charged against remaining demand. The circuit
+// planner guarantees every reservation covers its flow, so the plain
+// replay clamps dust with max(0, ·) and lets completions land at span
+// ends; the fluid scenarios cap at the remaining bytes and resolve exact
+// per-flow finish instants (needed for starvation accounting).
+enum class DrainRule { kCircuitDust, kExactFinish };
+
+// Executes a plan over [t, t_next): charges each active coflow the circuit
+// time its reservations actually got before the span end. Reservation
+// groups are walked in plan order, preserving the pre-kernel summation
+// order exactly.
+void ExecutePlanSpan(ReplayDriver& driver, std::vector<SimCoflow>& active,
+                     const SunflowSchedule& plan, Time t, Time t_next,
+                     Bandwidth bandwidth, DrainRule rule) {
+  std::map<std::pair<PortId, PortId>, std::vector<const CircuitReservation*>>
+      by_pair;
+  for (const auto& r : plan.reservations) by_pair[{r.in, r.out}].push_back(&r);
+
+  for (auto& sc : active) {
+    Bytes served_total = 0;
+    for (auto& [pair, bytes] : sc.remaining) {
+      if (bytes <= kBytesEps) continue;
+      auto it = by_pair.find(pair);
+      if (it == by_pair.end()) continue;
+      Time served = 0;
+      Time flow_finish = 0;
+      for (const CircuitReservation* r : it->second) {
+        if (r->coflow != sc.id) continue;
+        const Time b = std::max(r->transmit_begin(), t);
+        const Time e = std::min(r->end, t_next);
+        if (e > b) {
+          served += e - b;
+          flow_finish = std::max(flow_finish, e);
+        }
+      }
+      if (rule == DrainRule::kCircuitDust) {
+        bytes = std::max(0.0, bytes - served * bandwidth);
+      } else {
+        const Bytes moved = std::min(bytes, served * bandwidth);
+        bytes -= moved;
+        served_total += moved;
+        if (bytes <= kBytesEps) {
+          bytes = 0;
+          sc.last_finish = std::max(sc.last_finish, flow_finish);
+          driver.EmitFlowFinished(flow_finish, sc.id, pair.first, pair.second);
+        }
+      }
+    }
+    if (rule == DrainRule::kExactFinish && served_total > 0)
+      sc.NoteService(t, t_next);
+  }
+}
+
+// Equal-share fluid drain of the flows on one circuit over [begin, end):
+// n live flows each get B/n; when one drains the rest speed up. Updates
+// remaining bytes and records exact finish instants.
+void DrainEqualShare(std::vector<std::pair<SimCoflow*, Bytes*>>& flows,
+                     Time begin, Time end, Bandwidth bandwidth,
+                     ReplayDriver& driver, PortId in, PortId out) {
+  Time t = begin;
+  std::vector<std::pair<SimCoflow*, Bytes*>> live;
+  for (auto& f : flows)
+    if (*f.second > kBytesEps) live.push_back(f);
+  while (!live.empty() && t < end - kTimeEps) {
+    const Bandwidth share = bandwidth / static_cast<double>(live.size());
+    // Earliest finish among live flows at this share.
+    Time first_finish = kTimeInf;
+    for (auto& f : live)
+      first_finish = std::min(first_finish, t + *f.second / share);
+    const Time step_end = std::min(end, first_finish);
+    const Bytes moved = share * (step_end - t);
+    std::vector<std::pair<SimCoflow*, Bytes*>> next_live;
+    for (auto& f : live) {
+      *f.second = std::max(0.0, *f.second - moved);
+      if (*f.second <= kBytesEps) {
+        *f.second = 0;
+        f.first->last_finish = std::max(f.first->last_finish, step_end);
+        driver.EmitFlowFinished(step_end, f.first->id, in, out);
+      } else {
+        next_live.push_back(f);
+      }
+    }
+    live = std::move(next_live);
+    t = step_end;
+  }
+}
+
+// InterCoflow over the active set in policy order: builds views, orders,
+// plans on a fresh PRT (optionally seeded with carried-over circuits) and
+// reports the replan through the driver.
+SunflowSchedule PlanActiveSet(ReplayDriver& driver,
+                              const PriorityPolicy& policy,
+                              const SunflowConfig& config,
+                              const EstablishedCircuits* established,
+                              Time t) {
+  SimState& s = driver.state();
+  auto& active = s.active();
+  const Bandwidth bandwidth = config.bandwidth;
+
+  std::vector<CoflowView> views;
+  views.reserve(active.size());
+  for (const auto& sc : active) {
+    const Bytes remaining_bytes = sc.remaining_bytes();
+    views.push_back({sc.id, sc.arrival, sc.RemainingTpl(bandwidth),
+                     sc.static_tpl, remaining_bytes, sc.remaining.size(),
+                     std::max(0.0, sc.total - remaining_bytes)});
+  }
+  const std::vector<std::size_t> order = policy.Order(views);
+  SUNFLOW_CHECK(order.size() == active.size());
+
+  SunflowPlanner planner(s.num_ports(), config);
+  if (established != nullptr && !established->empty())
+    planner.SetEstablishedCircuits(*established, t);
+  std::vector<PlanRequest> requests;
+  requests.reserve(active.size());
+  for (std::size_t idx : order) {
+    const SimCoflow& sc = active[idx];
+    PlanRequest req;
+    req.coflow = sc.id;
+    req.start = t;
+    for (const auto& [pair, bytes] : sc.remaining) {
+      if (bytes > kBytesEps)
+        req.demand.push_back({pair.first, pair.second, bytes / bandwidth});
+    }
+    requests.push_back(std::move(req));
+  }
+  const auto plan_begin = std::chrono::steady_clock::now();
+  SunflowSchedule plan = planner.ScheduleAll(requests);
+  const auto plan_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - plan_begin)
+                           .count();
+  driver.NoteReplan(t, plan, static_cast<double>(plan_ns), requests.size());
+  return plan;
+}
+
+// --- "circuit": Sunflow's Varys-like replan on arrivals/completions. ----
+
+class CircuitScenario final : public ScenarioPolicy {
+ public:
+  CircuitScenario(const PriorityPolicy& policy, const EngineConfig& config,
+                  CompletionHook hook)
+      : policy_(policy), config_(config), hook_(std::move(hook)) {
+    SUNFLOW_CHECK(config_.sunflow.bandwidth > 0);
+  }
+
+  std::string name() const override { return "circuit"; }
+
+  void OnAdmit(SimCoflow& sc, const Coflow& coflow, Time /*now*/) override {
+    sc.static_tpl = PacketLowerBound(coflow, config_.sunflow.bandwidth);
+  }
+
+  void OnComplete(SimState& state, const SimCoflow& sc,
+                  Time finish) override {
+    if (hook_) hook_(state, sc.id, finish);
+  }
+
+  void OnIdleGap(SimState& /*state*/, Time /*now*/) override {
+    established_.clear();  // circuits idle away between bursts
+  }
+
+  Time ExecuteSpan(ReplayDriver& driver, Time t) override {
+    SimState& s = driver.state();
+    auto& active = s.active();
+
+    SunflowSchedule plan = PlanActiveSet(
+        driver, policy_, config_.sunflow,
+        config_.carry_over_circuits ? &established_ : nullptr, t);
+    last_plan_ = t;
+
+    // Next event: a release or the earliest planned completion. A release
+    // only forces a replan once min_replan_interval has elapsed since the
+    // previous plan; until then newly released coflows queue while the
+    // current plan keeps executing (completions always replan).
+    Time t_next = kTimeInf;
+    if (s.HasPendingReleases()) {
+      t_next = std::max(s.NextReleaseTime(),
+                        last_plan_ + config_.min_replan_interval);
+    }
+    for (const auto& sc : active) {
+      auto it = plan.completion_time.find(sc.id);
+      SUNFLOW_CHECK(it != plan.completion_time.end());
+      t_next = std::min(t_next, t + it->second);
+    }
+    SUNFLOW_CHECK_MSG(t_next < kTimeInf && t_next > t,
+                      "circuit replay stalled at t=" << t);
+
+    ExecutePlanSpan(driver, active, plan, t, t_next,
+                    config_.sunflow.bandwidth, DrainRule::kCircuitDust);
+    driver.EmitExecutedPlan(plan, t, t_next);
+
+    // Circuits up at the replan instant (for carry-over).
+    established_.clear();
+    if (config_.carry_over_circuits) {
+      for (const auto& r : plan.reservations) {
+        if (r.transmit_begin() <= t_next + kTimeEps &&
+            t_next < r.end - kTimeEps) {
+          established_[r.in] = r.out;
+        }
+      }
+    }
+    return t_next;
+  }
+
+  std::size_t StepBudget(const SimState& state) const override {
+    // Every iteration consumes at least one release or completion; the
+    // hook can only add each coflow once.
+    return 10 * state.total_released() + 1000;
+  }
+  const char* budget_message() const override {
+    return "circuit replay event explosion";
+  }
+
+ private:
+  const PriorityPolicy& policy_;
+  EngineConfig config_;
+  CompletionHook hook_;
+  EstablishedCircuits established_;
+  Time last_plan_ = -kTimeInf;
+};
+
+// --- "guarded": the (T + τ) starvation-guard cadence of §4.2. -----------
+
+class GuardScenario final : public ScenarioPolicy {
+ public:
+  GuardScenario(PortId num_ports, const PriorityPolicy& policy,
+                const EngineConfig& config)
+      : policy_(policy),
+        config_(config),
+        timeline_(config.guard, num_ports),
+        phi_(num_ports) {
+    SUNFLOW_CHECK_MSG(config_.guard.small_interval > config_.sunflow.delta,
+                      "starvation guard requires tau > delta");
+  }
+
+  std::string name() const override { return "guarded"; }
+
+  void OnAdmit(SimCoflow& sc, const Coflow& coflow, Time /*now*/) override {
+    sc.static_tpl = PacketLowerBound(coflow, config_.sunflow.bandwidth);
+    sc.last_service = sc.arrival;
+  }
+
+  Time ExecuteSpan(ReplayDriver& driver, Time t) override {
+    SimState& s = driver.state();
+    auto& active = s.active();
+    const Bandwidth bandwidth = config_.sunflow.bandwidth;
+    const Time span_end = timeline_.NextBoundaryAfter(t);
+    const Time t_arrival =
+        s.HasPendingReleases() ? s.NextReleaseTime() : kTimeInf;
+
+    if (!timeline_.InTauInterval(t)) {
+      // --- T span: priority-scheduled InterCoflow plan, cut at events
+      // (no carry-over, no throttle — each span replans from scratch). ---
+      SunflowSchedule plan =
+          PlanActiveSet(driver, policy_, config_.sunflow, nullptr, t);
+
+      Time t_next = std::min(span_end, t_arrival);
+      for (const auto& sc : active)
+        t_next = std::min(t_next, t + plan.completion_time.at(sc.id));
+      SUNFLOW_CHECK(t_next > t);
+
+      ExecutePlanSpan(driver, active, plan, t, t_next, bandwidth,
+                      DrainRule::kExactFinish);
+      driver.EmitExecutedPlan(plan, t, t_next);
+      return t_next;
+    }
+
+    // --- τ span: fixed assignment A_k, bandwidth shared per circuit. ---
+    const int k = timeline_.AssignmentIndexAt(t);
+    const Time span_begin = span_end - config_.guard.small_interval;
+    if (!TimeEq(span_begin, last_traced_tau_)) {
+      last_traced_tau_ = span_begin;  // dedupes re-entries into one τ span
+      driver.NoteStarvationRound(span_begin, config_.guard.small_interval, k);
+    }
+    // One setup δ at the start of the τ span; if we enter mid-span the
+    // circuits are already up.
+    const Time transmit_begin = std::max(t, span_begin + config_.sunflow.delta);
+    const Time t_next = std::min(span_end, t_arrival);
+
+    if (transmit_begin < t_next - kTimeEps) {
+      for (PortId i = 0; i < s.num_ports(); ++i) {
+        const PortId j = phi_.OutputOf(k, i);
+        std::vector<std::pair<SimCoflow*, Bytes*>> flows;
+        for (auto& sc : active) {
+          auto it = sc.remaining.find({i, j});
+          if (it != sc.remaining.end() && it->second > kBytesEps)
+            flows.emplace_back(&sc, &it->second);
+        }
+        if (flows.empty()) continue;
+        DrainEqualShare(flows, transmit_begin, t_next, bandwidth, driver, i,
+                        j);
+        for (auto& f : flows) f.first->NoteService(transmit_begin, t_next);
+      }
+    }
+    return t_next;
+  }
+
+  std::size_t StepBudget(const SimState& state) const override {
+    return 1000 * (state.total_released() + 1) + 100000;
+  }
+  const char* budget_message() const override {
+    return "guarded replay explosion";
+  }
+
+ private:
+  const PriorityPolicy& policy_;
+  EngineConfig config_;
+  StarvationGuardTimeline timeline_;
+  PhiAssignments phi_;
+  Time last_traced_tau_ = -kTimeInf;
+};
+
+// --- "rotor": demand-oblivious blind Φ rotation. ------------------------
+
+class RotorScenario final : public ScenarioPolicy {
+ public:
+  RotorScenario(PortId num_ports, const EngineConfig& config)
+      : config_(config),
+        phi_(num_ports),
+        span_(config.sunflow.delta + config.rotor_slot_duration) {
+    SUNFLOW_CHECK(config_.rotor_slot_duration > 0);
+    SUNFLOW_CHECK(config_.sunflow.delta >= 0);
+  }
+
+  std::string name() const override { return "rotor"; }
+
+  Time ExecuteSpan(ReplayDriver& driver, Time t) override {
+    SimState& s = driver.state();
+    auto& active = s.active();
+
+    // The rotation grid is absolute: slot s covers [s·span, (s+1)·span)
+    // with light from s·span + δ.
+    const auto slot =
+        static_cast<long long>(std::floor((t + kTimeEps) / span_));
+    const Time slot_begin = static_cast<Time>(slot) * span_;
+    const Time window_end = slot_begin + span_;
+    const Time transmit_begin = slot_begin + config_.sunflow.delta;
+    const Time t_arrival =
+        s.HasPendingReleases() ? s.NextReleaseTime() : kTimeInf;
+    const Time t_next = std::min(window_end, t_arrival);
+    const Time begin = std::max(t, transmit_begin);
+
+    if (begin < t_next - kTimeEps) {
+      const int k = static_cast<int>(slot % s.num_ports());
+      for (PortId i = 0; i < s.num_ports(); ++i) {
+        const PortId j = phi_.OutputOf(k, i);
+        std::vector<std::pair<SimCoflow*, Bytes*>> flows;
+        for (auto& sc : active) {
+          auto it = sc.remaining.find({i, j});
+          if (it != sc.remaining.end() && it->second > kBytesEps)
+            flows.emplace_back(&sc, &it->second);
+        }
+        if (!flows.empty())
+          DrainEqualShare(flows, begin, t_next, config_.sunflow.bandwidth,
+                          driver, i, j);
+      }
+    }
+    return t_next;
+  }
+
+  std::size_t StepBudget(const SimState& state) const override {
+    // Rotor utilization is ~1/N per pair, so the makespan can be enormous;
+    // this scenario is meant for small ablation workloads. Cap the slot
+    // count well above anything a sensible workload needs.
+    return 2000000 + 2000 * (state.total_released() + 1);
+  }
+  const char* budget_message() const override {
+    return "rotor replay exceeded its slot budget — the workload is too "
+           "heavy for blind rotation";
+  }
+
+ private:
+  EngineConfig config_;
+  PhiAssignments phi_;
+  Time span_ = 0;
+};
+
+// --- Registry run functions. --------------------------------------------
+
+EngineResult RunCircuit(const Trace& trace, const PriorityPolicy* policy,
+                        const EngineConfig& config) {
+  trace.Validate();
+  SUNFLOW_CHECK_MSG(policy != nullptr,
+                    "the circuit scenario needs a priority policy");
+  CircuitScenario scenario(*policy, config, nullptr);
+  auto result = RunScenarioReplay(trace, scenario, config.sink);
+  SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
+  return result;
+}
+
+EngineResult RunGuarded(const Trace& trace, const PriorityPolicy* policy,
+                        const EngineConfig& config) {
+  trace.Validate();
+  SUNFLOW_CHECK_MSG(policy != nullptr,
+                    "the guarded scenario needs a priority policy");
+  GuardScenario scenario(trace.num_ports, *policy, config);
+  auto result = RunScenarioReplay(trace, scenario, config.sink);
+  SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
+  return result;
+}
+
+EngineResult RunRotor(const Trace& trace, const PriorityPolicy* /*policy*/,
+                      const EngineConfig& config) {
+  trace.Validate();
+  RotorScenario scenario(trace.num_ports, config);
+  auto result = RunScenarioReplay(trace, scenario, config.sink);
+  SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
+  return result;
+}
+
+// Hybrid is a composite, not a span scenario: the trace is split by the
+// offload rule and each side replays on its own (physically separate)
+// fabric, so it registers a whole-trace run function.
+EngineResult RunHybrid(const Trace& trace, const PriorityPolicy* policy,
+                       const EngineConfig& config) {
+  SUNFLOW_CHECK(config.packet_bandwidth > 0);
+  Trace circuit_side, packet_side;
+  circuit_side.num_ports = trace.num_ports;
+  packet_side.num_ports = trace.num_ports;
+  for (const Coflow& c : trace.coflows) {
+    if (c.total_bytes() <= config.offload_threshold) {
+      packet_side.coflows.push_back(c);
+    } else {
+      circuit_side.coflows.push_back(c);
+    }
+  }
+
+  EngineResult result;
+  result.offloaded = packet_side.coflows.size();
+  result.circuit = circuit_side.coflows.size();
+
+  if (!circuit_side.coflows.empty()) {
+    EngineResult circuit_result = RunCircuit(circuit_side, policy, config);
+    result.cct.insert(circuit_result.cct.begin(), circuit_result.cct.end());
+    result.completion.insert(circuit_result.completion.begin(),
+                             circuit_result.completion.end());
+    result.makespan = std::max(result.makespan, circuit_result.makespan);
+    result.replans += circuit_result.replans;
+    result.queue = circuit_result.queue;
+  }
+  if (!packet_side.coflows.empty()) {
+    // The companion packet network is coflow-scheduled too (the offloaded
+    // traffic is small, so SEBF+MADD is a natural choice there).
+    packet::PacketReplayConfig pc;
+    pc.bandwidth = config.packet_bandwidth;
+    auto varys = packet::MakeVarysAllocator();
+    const auto packet_result =
+        packet::ReplayPacketTrace(packet_side, *varys, pc);
+    result.cct.insert(packet_result.cct.begin(), packet_result.cct.end());
+    result.completion.insert(packet_result.completion.begin(),
+                             packet_result.completion.end());
+    result.makespan = std::max(result.makespan, packet_result.makespan);
+  }
+  SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
+  return result;
+}
+
+}  // namespace
+
+std::unique_ptr<ScenarioPolicy> MakeCircuitScenario(
+    PortId /*num_ports*/, const PriorityPolicy& policy,
+    const EngineConfig& config, CompletionHook hook) {
+  return std::make_unique<CircuitScenario>(policy, config, std::move(hook));
+}
+
+std::unique_ptr<ScenarioPolicy> MakeGuardScenario(
+    PortId num_ports, const PriorityPolicy& policy,
+    const EngineConfig& config) {
+  return std::make_unique<GuardScenario>(num_ports, policy, config);
+}
+
+std::unique_ptr<ScenarioPolicy> MakeRotorScenario(PortId num_ports,
+                                                  const EngineConfig& config) {
+  return std::make_unique<RotorScenario>(num_ports, config);
+}
+
+void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
+  registry.Register("circuit",
+                    "Sunflow OCS replay: replan on arrivals/completions, "
+                    "carry-over + replan throttle",
+                    RunCircuit);
+  registry.Register("guarded",
+                    "circuit replay under the (T+tau) starvation guard",
+                    RunGuarded);
+  registry.Register("rotor",
+                    "demand-oblivious blind Phi rotation (no policy)",
+                    RunRotor);
+  registry.Register("hybrid",
+                    "OCS for big coflows, companion packet fabric below the "
+                    "offload threshold",
+                    RunHybrid);
+}
+
+}  // namespace sunflow::engine

@@ -1,0 +1,38 @@
+// Slot-schedule execution for the two switch models of §2.1, hosted by the
+// kernel so the per-model loops live in one place (sched/executor.h keeps
+// the public entry points as thin adapters).
+//
+// Not-all-stop (the accurate optical-switch model): reconfiguring one
+// circuit costs δ on the two ports involved; unchanged circuits keep
+// transmitting, and ports progress independently (Fig 1b's staggering).
+//
+// All-stop (the conventional TSA model): every assignment change stops all
+// circuits for δ.
+#pragma once
+
+#include "common/units.h"
+#include "sched/executor.h"
+#include "sched/schedule.h"
+#include "trace/demand_matrix.h"
+
+namespace sunflow::engine {
+
+enum class SwitchModel {
+  kNotAllStop,  ///< per-port staggered δ (Fig 1b)
+  kAllStop,     ///< global δ barrier on any assignment change
+};
+
+/// Replays an assignment schedule against the *original* (real) demand;
+/// stuffed dummy demand occupies circuit time but moves no bytes. Also a
+/// validator: leftover demand after the last slot is a bug in the
+/// scheduler and throws. `sink` optionally receives one kCircuitSetup
+/// event per δ paid (labelled `coflow`), and the run's totals feed the
+/// `executor.circuit_setups` / `executor.slots` metrics.
+ExecutionResult ExecuteAssignmentSchedule(const DemandMatrix& demand,
+                                          const AssignmentSchedule& schedule,
+                                          Time delta, Time start,
+                                          SwitchModel model,
+                                          obs::TraceSink* sink,
+                                          CoflowId coflow);
+
+}  // namespace sunflow::engine

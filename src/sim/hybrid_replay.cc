@@ -1,46 +1,27 @@
+// Thin adapter: the split-and-merge composite runs as the kernel's
+// "hybrid" scenario (sim/engine/scenarios.cc); this entry point keeps the
+// historical API and result shape.
 #include "sim/hybrid_replay.h"
 
-#include "common/assert.h"
-#include "packet/replay.h"
-#include "packet/varys.h"
+#include <utility>
+
+#include "sim/adapter_util.h"
+#include "sim/engine/scenario.h"
 
 namespace sunflow {
 
 HybridReplayResult ReplayHybridTrace(const Trace& trace,
                                      const PriorityPolicy& policy,
                                      const HybridReplayConfig& config) {
-  SUNFLOW_CHECK(config.packet_bandwidth > 0);
-  Trace circuit_side, packet_side;
-  circuit_side.num_ports = trace.num_ports;
-  packet_side.num_ports = trace.num_ports;
-  for (const Coflow& c : trace.coflows) {
-    if (c.total_bytes() <= config.offload_threshold) {
-      packet_side.coflows.push_back(c);
-    } else {
-      circuit_side.coflows.push_back(c);
-    }
-  }
-
+  engine::EngineConfig ec = sim_detail::ToEngineConfig(config.circuit);
+  ec.packet_bandwidth = config.packet_bandwidth;
+  ec.offload_threshold = config.offload_threshold;
+  engine::EngineResult er =
+      engine::ScenarioRegistry::Global().Run("hybrid", trace, &policy, ec);
   HybridReplayResult result;
-  result.offloaded = packet_side.coflows.size();
-  result.circuit = circuit_side.coflows.size();
-
-  if (!circuit_side.coflows.empty()) {
-    const auto circuit_result =
-        ReplayCircuitTrace(circuit_side, policy, config.circuit);
-    result.cct.insert(circuit_result.cct.begin(), circuit_result.cct.end());
-  }
-  if (!packet_side.coflows.empty()) {
-    // The companion packet network is coflow-scheduled too (the offloaded
-    // traffic is small, so SEBF+MADD is a natural choice there).
-    packet::PacketReplayConfig pc;
-    pc.bandwidth = config.packet_bandwidth;
-    auto varys = packet::MakeVarysAllocator();
-    const auto packet_result =
-        packet::ReplayPacketTrace(packet_side, *varys, pc);
-    result.cct.insert(packet_result.cct.begin(), packet_result.cct.end());
-  }
-  SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
+  result.cct = std::move(er.cct);
+  result.offloaded = er.offloaded;
+  result.circuit = er.circuit;
   return result;
 }
 

@@ -1,143 +1,26 @@
+// Thin adapter: blind Φ rotation runs as the kernel's "rotor" scenario
+// (sim/engine/scenarios.cc); this entry point keeps the historical API
+// and result shape.
 #include "sim/rotor_replay.h"
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
+#include <utility>
 
-#include "common/assert.h"
+#include "sim/engine/scenario.h"
 
 namespace sunflow {
 
-namespace {
-
-struct RotorCoflow {
-  CoflowId id = -1;
-  Time arrival = 0;
-  std::map<std::pair<PortId, PortId>, Bytes> remaining;
-  Time last_finish = 0;
-
-  bool done() const {
-    for (const auto& [pair, b] : remaining)
-      if (b > kBytesEps) return false;
-    return true;
-  }
-};
-
-// Equal-share fluid drain on one circuit over [begin, end).
-void DrainPair(std::vector<std::pair<RotorCoflow*, Bytes*>>& flows,
-               Time begin, Time end, Bandwidth bandwidth) {
-  Time t = begin;
-  std::vector<std::pair<RotorCoflow*, Bytes*>> live;
-  for (auto& f : flows)
-    if (*f.second > kBytesEps) live.push_back(f);
-  while (!live.empty() && t < end - kTimeEps) {
-    const Bandwidth share = bandwidth / static_cast<double>(live.size());
-    Time first_finish = kTimeInf;
-    for (auto& f : live)
-      first_finish = std::min(first_finish, t + *f.second / share);
-    const Time step_end = std::min(end, first_finish);
-    const Bytes moved = share * (step_end - t);
-    std::vector<std::pair<RotorCoflow*, Bytes*>> next_live;
-    for (auto& f : live) {
-      *f.second = std::max(0.0, *f.second - moved);
-      if (*f.second <= kBytesEps) {
-        *f.second = 0;
-        f.first->last_finish = std::max(f.first->last_finish, step_end);
-      } else {
-        next_live.push_back(f);
-      }
-    }
-    live = std::move(next_live);
-    t = step_end;
-  }
-}
-
-}  // namespace
-
 RotorReplayResult ReplayRotorTrace(const Trace& trace,
                                    const RotorReplayConfig& config) {
-  trace.Validate();
-  SUNFLOW_CHECK(config.slot_duration > 0);
-  SUNFLOW_CHECK(config.delta >= 0);
-  const Time span = config.delta + config.slot_duration;
-  const PhiAssignments phi(trace.num_ports);
-
+  engine::EngineConfig ec;
+  ec.sunflow.bandwidth = config.bandwidth;
+  ec.sunflow.delta = config.delta;
+  ec.rotor_slot_duration = config.slot_duration;
+  engine::EngineResult er = engine::ScenarioRegistry::Global().Run(
+      "rotor", trace, /*policy=*/nullptr, ec);
   RotorReplayResult result;
-  std::vector<RotorCoflow> active;
-  std::size_t next_arrival = 0;
-  Time t = 0;
-
-  // Rotor utilization is ~1/N per pair, so the makespan can be enormous;
-  // this engine is meant for small ablation workloads. Cap the slot count
-  // well above anything a sensible workload needs.
-  const std::size_t max_slots =
-      2000000 + 2000 * (trace.coflows.size() + 1);
-  std::size_t steps = 0;
-
-  auto admit = [&] {
-    while (next_arrival < trace.coflows.size() &&
-           trace.coflows[next_arrival].arrival() <= t + kTimeEps) {
-      const Coflow& c = trace.coflows[next_arrival++];
-      RotorCoflow rc;
-      rc.id = c.id();
-      rc.arrival = c.arrival();
-      for (const Flow& f : c.flows()) rc.remaining[{f.src, f.dst}] = f.bytes;
-      active.push_back(std::move(rc));
-    }
-  };
-
-  while (!active.empty() || next_arrival < trace.coflows.size()) {
-    SUNFLOW_CHECK_MSG(++steps < max_slots,
-                      "rotor replay exceeded its slot budget — the workload "
-                      "is too heavy for blind rotation");
-    admit();
-    if (active.empty()) {
-      t = trace.coflows[next_arrival].arrival();
-      admit();
-    }
-
-    // The rotation grid is absolute: slot s covers [s·span, (s+1)·span)
-    // with light from s·span + δ.
-    const auto slot = static_cast<long long>(
-        std::floor((t + kTimeEps) / span));
-    const Time slot_begin = static_cast<Time>(slot) * span;
-    const Time window_end = slot_begin + span;
-    const Time transmit_begin = slot_begin + config.delta;
-    const Time t_arrival = next_arrival < trace.coflows.size()
-                               ? trace.coflows[next_arrival].arrival()
-                               : kTimeInf;
-    const Time t_next = std::min(window_end, t_arrival);
-    const Time begin = std::max(t, transmit_begin);
-
-    if (begin < t_next - kTimeEps) {
-      const int k = static_cast<int>(slot % trace.num_ports);
-      for (PortId i = 0; i < trace.num_ports; ++i) {
-        const PortId j = phi.OutputOf(k, i);
-        std::vector<std::pair<RotorCoflow*, Bytes*>> flows;
-        for (auto& rc : active) {
-          auto it = rc.remaining.find({i, j});
-          if (it != rc.remaining.end() && it->second > kBytesEps)
-            flows.emplace_back(&rc, &it->second);
-        }
-        if (!flows.empty())
-          DrainPair(flows, begin, t_next, config.bandwidth);
-      }
-    }
-    t = t_next;
-
-    for (auto it = active.begin(); it != active.end();) {
-      if (it->done()) {
-        const Time finish = it->last_finish > 0 ? it->last_finish : t;
-        result.cct[it->id] = finish - it->arrival;
-        result.completion[it->id] = finish;
-        result.makespan = std::max(result.makespan, finish);
-        it = active.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
+  result.cct = std::move(er.cct);
+  result.completion = std::move(er.completion);
+  result.makespan = er.makespan;
   return result;
 }
 

@@ -1,256 +1,27 @@
+// Thin adapter: the (T + τ) cadence runs as the kernel's "guarded"
+// scenario (sim/engine/scenarios.cc); this entry point keeps the
+// historical API and result shape.
 #include "sim/starvation_replay.h"
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
+#include <utility>
 
-#include "common/assert.h"
-#include "obs/metrics.h"
-#include "obs/trace_sink.h"
-#include "trace/bounds.h"
+#include "sim/adapter_util.h"
+#include "sim/engine/scenario.h"
 
 namespace sunflow {
-
-namespace {
-
-struct GuardCoflow {
-  CoflowId id = -1;
-  Time arrival = 0;
-  Time static_tpl = 0;
-  Bytes total = 0;
-  std::map<std::pair<PortId, PortId>, Bytes> remaining;
-  Time last_service = 0;  ///< end of the last window with non-zero service
-  Time max_gap = 0;
-  Time last_finish = 0;  ///< latest flow-finish instant seen so far
-
-  bool done() const {
-    for (const auto& [pair, b] : remaining)
-      if (b > kBytesEps) return false;
-    return true;
-  }
-  Bytes remaining_bytes() const {
-    Bytes sum = 0;
-    for (const auto& [pair, b] : remaining) sum += b;
-    return sum;
-  }
-  Time RemainingTpl(Bandwidth bandwidth) const {
-    std::map<PortId, Bytes> in_load, out_load;
-    for (const auto& [pair, b] : remaining) {
-      if (b <= kBytesEps) continue;
-      in_load[pair.first] += b;
-      out_load[pair.second] += b;
-    }
-    Bytes busiest = 0;
-    for (const auto& [p, v] : in_load) busiest = std::max(busiest, v);
-    for (const auto& [p, v] : out_load) busiest = std::max(busiest, v);
-    return busiest / bandwidth;
-  }
-
-  void NoteService(Time window_begin, Time window_end) {
-    max_gap = std::max(max_gap, window_begin - last_service);
-    last_service = window_end;
-  }
-};
-
-// Equal-share fluid drain of the flows on one circuit over [begin, end):
-// n live flows each get B/n; when one drains the rest speed up. Updates
-// remaining bytes and records exact finish instants.
-void DrainShared(std::vector<std::pair<GuardCoflow*, Bytes*>>& flows,
-                 Time begin, Time end, Bandwidth bandwidth,
-                 std::map<CoflowId, Time>& finish_at) {
-  Time t = begin;
-  std::vector<std::pair<GuardCoflow*, Bytes*>> live;
-  for (auto& f : flows)
-    if (*f.second > kBytesEps) live.push_back(f);
-  while (!live.empty() && t < end - kTimeEps) {
-    const Bandwidth share = bandwidth / static_cast<double>(live.size());
-    // Earliest finish among live flows at this share.
-    Time first_finish = kTimeInf;
-    for (auto& f : live)
-      first_finish = std::min(first_finish, t + *f.second / share);
-    const Time step_end = std::min(end, first_finish);
-    const Bytes moved = share * (step_end - t);
-    std::vector<std::pair<GuardCoflow*, Bytes*>> next_live;
-    for (auto& f : live) {
-      *f.second = std::max(0.0, *f.second - moved);
-      if (*f.second <= kBytesEps) {
-        *f.second = 0;
-        auto& at = finish_at[f.first->id];
-        at = std::max(at, step_end);
-        f.first->last_finish = std::max(f.first->last_finish, step_end);
-      } else {
-        next_live.push_back(f);
-      }
-    }
-    live = std::move(next_live);
-    t = step_end;
-  }
-}
-
-}  // namespace
 
 GuardedReplayResult ReplayWithStarvationGuard(
     const Trace& trace, const PriorityPolicy& policy,
     const CircuitReplayConfig& config, const StarvationGuardConfig& guard) {
-  trace.Validate();
-  SUNFLOW_CHECK_MSG(guard.small_interval > config.sunflow.delta,
-                    "starvation guard requires tau > delta");
-  const Bandwidth bandwidth = config.sunflow.bandwidth;
-  const StarvationGuardTimeline timeline(guard, trace.num_ports);
-  const PhiAssignments phi(trace.num_ports);
-
+  engine::EngineConfig ec = sim_detail::ToEngineConfig(config);
+  ec.guard = guard;
+  engine::EngineResult er =
+      engine::ScenarioRegistry::Global().Run("guarded", trace, &policy, ec);
   GuardedReplayResult result;
-  std::vector<GuardCoflow> active;
-  std::size_t next_arrival = 0;
-  Time t = 0;
-  Time last_traced_tau = -kTimeInf;  // dedupes re-entries into one τ span
-
-  const std::size_t max_events = 1000 * (trace.coflows.size() + 1) + 100000;
-  std::size_t events = 0;
-
-  auto admit = [&] {
-    while (next_arrival < trace.coflows.size() &&
-           trace.coflows[next_arrival].arrival() <= t + kTimeEps) {
-      const Coflow& c = trace.coflows[next_arrival++];
-      GuardCoflow gc;
-      gc.id = c.id();
-      gc.arrival = c.arrival();
-      gc.static_tpl = PacketLowerBound(c, bandwidth);
-      gc.total = c.total_bytes();
-      gc.last_service = c.arrival();
-      for (const Flow& f : c.flows()) gc.remaining[{f.src, f.dst}] = f.bytes;
-      active.push_back(std::move(gc));
-    }
-  };
-
-  auto harvest_completions = [&](Time now) {
-    for (auto it = active.begin(); it != active.end();) {
-      if (it->done()) {
-        const Time finish = it->last_finish > 0 ? it->last_finish : now;
-        result.cct[it->id] = finish - it->arrival;
-        result.completion[it->id] = finish;
-        result.max_service_gap[it->id] = it->max_gap;
-        result.makespan = std::max(result.makespan, finish);
-        it = active.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-
-  while (!active.empty() || next_arrival < trace.coflows.size()) {
-    SUNFLOW_CHECK_MSG(++events < max_events, "guarded replay explosion");
-    admit();
-    if (active.empty()) {
-      t = trace.coflows[next_arrival].arrival();
-      admit();
-    }
-
-    const Time span_end = timeline.NextBoundaryAfter(t);
-    const Time t_arrival = next_arrival < trace.coflows.size()
-                               ? trace.coflows[next_arrival].arrival()
-                               : kTimeInf;
-
-    if (!timeline.InTauInterval(t)) {
-      // --- T span: priority-scheduled InterCoflow plan, cut at events. ---
-      std::vector<CoflowView> views;
-      for (const auto& gc : active) {
-        const Bytes remaining_bytes = gc.remaining_bytes();
-        views.push_back({gc.id, gc.arrival, gc.RemainingTpl(bandwidth),
-                         gc.static_tpl, remaining_bytes, gc.remaining.size(),
-                         std::max(0.0, gc.total - remaining_bytes)});
-      }
-      const auto order = policy.Order(views);
-
-      SunflowPlanner planner(trace.num_ports, config.sunflow);
-      std::vector<PlanRequest> requests;
-      for (std::size_t idx : order) {
-        const GuardCoflow& gc = active[idx];
-        PlanRequest req;
-        req.coflow = gc.id;
-        req.start = t;
-        for (const auto& [pair, bytes] : gc.remaining) {
-          if (bytes > kBytesEps)
-            req.demand.push_back(
-                {pair.first, pair.second, bytes / bandwidth});
-        }
-        requests.push_back(std::move(req));
-      }
-      SunflowSchedule plan = planner.ScheduleAll(requests);
-
-      Time t_next = std::min(span_end, t_arrival);
-      for (const auto& gc : active)
-        t_next = std::min(t_next, t + plan.completion_time.at(gc.id));
-      SUNFLOW_CHECK(t_next > t);
-
-      for (auto& gc : active) {
-        Bytes served_total = 0;
-        for (auto& [pair, bytes] : gc.remaining) {
-          if (bytes <= kBytesEps) continue;
-          Time served = 0;
-          Time flow_finish = 0;
-          for (const auto& r : plan.reservations) {
-            if (r.coflow != gc.id || r.in != pair.first ||
-                r.out != pair.second)
-              continue;
-            const Time b = std::max(r.transmit_begin(), t);
-            const Time e = std::min(r.end, t_next);
-            if (e > b) {
-              served += e - b;
-              flow_finish = std::max(flow_finish, e);
-            }
-          }
-          const Bytes moved = std::min(bytes, served * bandwidth);
-          bytes -= moved;
-          served_total += moved;
-          if (bytes <= kBytesEps) {
-            bytes = 0;
-            gc.last_finish = std::max(gc.last_finish, flow_finish);
-          }
-        }
-        if (served_total > 0) gc.NoteService(t, t_next);
-      }
-      harvest_completions(t_next);
-      t = t_next;
-    } else {
-      // --- τ span: fixed assignment A_k, bandwidth shared per circuit. ---
-      const int k = timeline.AssignmentIndexAt(t);
-      const Time span_begin = span_end - guard.small_interval;
-      if (!TimeEq(span_begin, last_traced_tau)) {
-        last_traced_tau = span_begin;
-        obs::GlobalMetrics().GetCounter("starvation.rounds").Increment();
-        obs::Emit(config.sink, {.type = obs::EventType::kStarvationRound,
-                                .t = span_begin,
-                                .dur = guard.small_interval,
-                                .count = k});
-      }
-      // One setup δ at the start of the τ span; if we enter mid-span the
-      // circuits are already up.
-      const Time transmit_begin =
-          std::max(t, span_begin + config.sunflow.delta);
-      const Time t_next = std::min(span_end, t_arrival);
-
-      if (transmit_begin < t_next - kTimeEps) {
-        std::map<CoflowId, Time> finish_at;
-        for (PortId i = 0; i < trace.num_ports; ++i) {
-          const PortId j = phi.OutputOf(k, i);
-          std::vector<std::pair<GuardCoflow*, Bytes*>> flows;
-          for (auto& gc : active) {
-            auto it = gc.remaining.find({i, j});
-            if (it != gc.remaining.end() && it->second > kBytesEps)
-              flows.emplace_back(&gc, &it->second);
-          }
-          if (flows.empty()) continue;
-          DrainShared(flows, transmit_begin, t_next, bandwidth, finish_at);
-          for (auto& f : flows) f.first->NoteService(transmit_begin, t_next);
-        }
-        harvest_completions(t_next);
-      }
-      t = t_next;
-    }
-  }
-
-  SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
+  result.cct = std::move(er.cct);
+  result.completion = std::move(er.completion);
+  result.max_service_gap = std::move(er.max_service_gap);
+  result.makespan = er.makespan;
   return result;
 }
 
