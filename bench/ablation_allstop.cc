@@ -21,12 +21,14 @@
 int main(int argc, char** argv) {
   using namespace sunflow;
   using namespace sunflow::exp;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const int threads = bench::Threads(flags);
-  if (bench::HandleHelp(flags, "Ablation: all-stop model and carry-over"))
-    return 0;
-  bench::Banner("Ablation — switch model and replan carry-over", w);
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "ablation_allstop",
+       .help = "Ablation: all-stop model and carry-over",
+       .banner = "Ablation — switch model and replan carry-over"});
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const int threads = session.threads();
 
   {
     TextTable table("Solstice under the two switch models (CCT/TcL)");
@@ -110,5 +112,5 @@ int main(int argc, char** argv) {
         "the value of demand-aware circuit scheduling in one row");
     table.Print(std::cout);
   }
-  return 0;
+  return session.Finish();
 }

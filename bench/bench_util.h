@@ -1,4 +1,5 @@
-// Shared workload construction for the bench binaries.
+// Shared workload construction and session plumbing for the bench
+// binaries.
 //
 // Every bench accepts the same flags so experiments are reproducible and
 // scalable: --coflows, --ports, --seed, --perturb, --threads, and (where
@@ -6,11 +7,25 @@
 // 526-coflow, 150-port one-hour trace with ±5% flow-size perturbation
 // floored at 1 MB. Pass --trace=<file> to use a real coflow-benchmark file
 // (e.g. FB2010-1Hr-150-0.txt) instead of the synthetic trace.
+//
+// BenchSession below is the one-stop preamble/epilogue: flags, workload,
+// --threads/--engine, the event tracer, and the run manifest every bench
+// emits (obs/manifest.h). A bench main is
+//   bench::BenchSession s(argc, argv, {.name = "fig5_switching",
+//                                      .help = "...", .banner = "..."});
+//   ... register bench-specific flags via s.flags() ...
+//   if (s.done()) return 0;   // --help path; else prints the banner
+//   ... run, using s.workload()/s.threads()/s.engine()/s.sink() ...
+//   return s.Finish();
+// Finish (or the destructor, which also runs when the bench throws)
+// flushes the trace, reports metrics, and writes the manifest.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "common/cli.h"
@@ -18,7 +33,9 @@
 #include "sim/engine/scenario.h"
 #include "obs/chrome_trace.h"
 #include "obs/jsonl.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace_sink.h"
 #include "runtime/thread_pool.h"
 #include "trace/coflow.h"
@@ -30,6 +47,7 @@ namespace sunflow::bench {
 struct Workload {
   Trace trace;
   std::string description;
+  std::uint64_t seed = 0;  ///< the --seed flag (for run manifests)
 };
 
 inline Workload LoadWorkload(CliFlags& flags) {
@@ -43,6 +61,7 @@ inline Workload LoadWorkload(CliFlags& flags) {
       flags.GetDouble("perturb", 0.05, "flow-size perturbation fraction");
 
   Workload w;
+  w.seed = static_cast<std::uint64_t>(seed);
   if (!path.empty()) {
     w.trace = ParseCoflowBenchmarkFile(path);
     w.description = "trace file " + path;
@@ -106,8 +125,12 @@ inline bool HandleHelp(CliFlags& flags, const std::string& what) {
 }
 
 inline void Banner(const std::string& title, const Workload& w) {
-  std::printf("### %s\n### workload: %s\n\n", title.c_str(),
-              w.description.c_str());
+  if (w.description.empty()) {
+    std::printf("### %s\n\n", title.c_str());
+  } else {
+    std::printf("### %s\n### workload: %s\n\n", title.c_str(),
+                w.description.c_str());
+  }
 }
 
 /// Structured-tracing and metrics support shared by the bench binaries.
@@ -118,6 +141,11 @@ inline void Banner(const std::string& title, const Workload& w) {
 /// compiles down to a skipped branch at every emission site. --metrics
 /// prints the global registry at exit; --metrics_csv=<file> dumps it as
 /// CSV. Construct before HandleHelp so the flags appear in --help.
+///
+/// Durability: Finish() is idempotent and the destructor calls it, so the
+/// buffered trace reaches disk even when the bench exits early or unwinds
+/// through an exception (a destructor-context failure is reported to
+/// stderr instead of throwing).
 class BenchTracer {
  public:
   explicit BenchTracer(CliFlags& flags)
@@ -136,19 +164,34 @@ class BenchTracer {
     }
   }
 
+  BenchTracer(const BenchTracer&) = delete;
+  BenchTracer& operator=(const BenchTracer&) = delete;
+
+  ~BenchTracer() {
+    try {
+      Finish();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench tracer: %s\n", e.what());
+    }
+  }
+
   obs::TraceSink* sink() { return path_.empty() ? nullptr : &sink_; }
   bool enabled() const { return !path_.empty(); }
   const std::vector<obs::Event>& events() const { return sink_.events(); }
 
   /// Writes the buffered events (if tracing was requested) and reports
-  /// where they went.
+  /// where they went. Idempotent: the first call wins, later calls (and
+  /// the destructor) are no-ops.
   void Finish() {
-    if (path_.empty()) return;
+    if (path_.empty() || finished_) return;
+    finished_ = true;
     if (path_.size() >= 6 &&
         path_.compare(path_.size() - 6, 6, ".jsonl") == 0) {
       std::ofstream f(path_);
       if (!f) throw std::runtime_error("cannot open " + path_);
       obs::WriteJsonl(f, sink_.events());
+      f.flush();
+      if (!f) throw std::runtime_error("failed writing " + path_);
     } else {
       obs::WriteChromeTraceFile(path_, sink_.events());
     }
@@ -172,8 +215,116 @@ class BenchTracer {
  private:
   std::string path_;
   bool print_metrics_ = false;
+  bool finished_ = false;
   std::string metrics_csv_;
   obs::MemorySink sink_;
+};
+
+struct BenchOptions {
+  std::string name = {};    ///< tool name: manifest + default manifest file
+  std::string help = {};    ///< --help description
+  std::string banner = {};  ///< printed banner (defaults to `help`)
+  /// Default for the shared --engine flag; nullopt skips registering it.
+  std::optional<std::string> engine_default = std::nullopt;
+  bool use_threads = true;
+  bool load_workload = true;
+};
+
+/// The standard bench preamble/epilogue as one RAII object: parses flags,
+/// loads the workload, registers --threads/--engine, owns the tracer and
+/// the run manifest (obs/manifest.h), handles --help, prints the banner.
+/// Finish() — or the destructor, including during exception unwind —
+/// flushes the trace, reports metrics, finalizes the manifest (wall time,
+/// peak RSS, merged metrics + phase-profile snapshot, profiler-overhead
+/// estimate) and writes it to --manifest_out (default
+/// "<name>.manifest.json"; empty skips).
+class BenchSession {
+ public:
+  BenchSession(int argc, char** argv, BenchOptions opts)
+      : opts_(std::move(opts)),
+        flags_(argc, argv),
+        manifest_(obs::RunManifest::Begin(opts_.name, argc, argv)) {
+    if (opts_.load_workload) workload_ = LoadWorkload(flags_);
+    if (opts_.use_threads) threads_ = Threads(flags_);
+    if (opts_.engine_default.has_value())
+      engine_ = Engine(flags_, *opts_.engine_default);
+    tracer_.emplace(flags_);
+    manifest_path_ = flags_.GetString(
+        "manifest_out", opts_.name + ".manifest.json",
+        "write the self-describing run manifest JSON (empty = skip)");
+    if (flags_.GetBool("no_profile", false,
+                       "disable the phase profiler for this run")) {
+      obs::SetProfilingEnabled(false);
+    }
+  }
+
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+  ~BenchSession() {
+    try {
+      Finish();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench session: %s\n", e.what());
+    }
+  }
+
+  /// Call once after registering bench-specific flags: on --help, prints
+  /// the help text (covering the just-registered flags) and returns true
+  /// — main should return 0 and the manifest is suppressed. Otherwise
+  /// prints the workload banner and returns false.
+  bool done() {
+    if (flags_.help_requested()) {
+      flags_.PrintHelp(opts_.help);
+      done_ = true;
+      return true;
+    }
+    Banner(opts_.banner.empty() ? opts_.help : opts_.banner, workload_);
+    return false;
+  }
+
+  CliFlags& flags() { return flags_; }
+  const Workload& workload() const { return workload_; }
+  const Trace& trace() const { return workload_.trace; }
+  int threads() const { return threads_; }
+  const std::string& engine() const { return engine_; }
+  BenchTracer& tracer() { return *tracer_; }
+  obs::TraceSink* sink() { return tracer_->sink(); }
+  /// Bench-specific scalars surfaced in the manifest's "run" object.
+  void AddManifestValue(const std::string& key, double value) {
+    manifest_.extra[key] = value;
+  }
+  /// For benches that skip LoadWorkload but still have a seed to record.
+  void SetManifestSeed(std::uint64_t seed) { workload_.seed = seed; }
+
+  /// Epilogue: trace flush + metrics report + manifest emission. Runs at
+  /// most once; returns 0 so a bench can `return session.Finish();`.
+  int Finish() {
+    if (finished_ || done_) return 0;
+    finished_ = true;
+    tracer_->Finish();
+    tracer_->ReportMetrics();
+    if (!manifest_path_.empty()) {
+      manifest_.seed = workload_.seed;
+      manifest_.threads = threads_;
+      manifest_.Finalize();
+      manifest_.WriteFile(manifest_path_);
+      std::printf("wrote run manifest to %s\n", manifest_path_.c_str());
+    }
+    return 0;
+  }
+
+ private:
+  BenchOptions opts_;
+  CliFlags flags_;
+  obs::RunManifest manifest_;
+  Workload workload_;
+  int threads_ = 1;
+  std::string engine_;
+  std::optional<BenchTracer> tracer_;
+  std::string manifest_path_;
+  bool done_ = false;
+  bool finished_ = false;
 };
 
 }  // namespace sunflow::bench

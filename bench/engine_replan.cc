@@ -2,8 +2,9 @@
 // (sim/engine): wall-clock replans/sec for a whole-trace replay, plus the
 // event-queue traffic the run generated. Throughput lands in the metrics
 // registry as engine.replans_per_sec next to the driver-maintained
-// engine.event_pushes / engine.event_pops counters, so --metrics_csv
-// captures everything a regression dashboard needs.
+// engine.event_pushes / engine.event_pops counters, and the run manifest
+// carries the phase breakdown (engine.plan / engine.execute / ...), so
+// one run yields everything a regression dashboard needs.
 #include <chrono>
 #include <iostream>
 
@@ -15,17 +16,16 @@
 
 int main(int argc, char** argv) {
   using namespace sunflow;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const auto repeat =
-      flags.GetInt("repeat", 3, "timed whole-trace replay repetitions");
-  const std::string engine_name = bench::Engine(flags, "circuit");
-  bench::BenchTracer tracer(flags);
-  if (bench::HandleHelp(flags,
-                        "Microbench: kernel replans/sec and queue traffic"))
-    return 0;
-  bench::Banner("Engine replan microbench — scenario \"" + engine_name + "\"",
-                w);
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "engine_replan",
+       .help = "Microbench: kernel replans/sec and queue traffic",
+       .engine_default = "circuit"});
+  const auto repeat = session.flags().GetInt(
+      "repeat", 3, "timed whole-trace replay repetitions");
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const std::string& engine_name = session.engine();
 
   const auto policy = MakeShortestFirstPolicy();
   engine::EngineConfig ec;
@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
       {"run", "replans", "wall ms", "replans/sec", "evq pushes", "evq pops"});
   auto& throughput =
       obs::GlobalMetrics().GetHistogram("engine.replans_per_sec");
+  double best_rps = 0;
   for (int r = 0; r < repeat; ++r) {
     const auto begin = std::chrono::steady_clock::now();
     const engine::EngineResult result =
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
             .count();
     const double rps = seconds > 0 ? result.replans / seconds : 0;
     throughput.Record(rps);
+    best_rps = std::max(best_rps, rps);
     table.AddRow({std::to_string(r), std::to_string(result.replans),
                   TextTable::Fmt(seconds * 1e3, 2), TextTable::Fmt(rps, 0),
                   std::to_string(result.queue.pushes),
@@ -54,6 +56,6 @@ int main(int argc, char** argv) {
       "engine.event_pushes / engine.event_pops accumulate in the metrics "
       "registry (--metrics / --metrics_csv)");
   table.Print(std::cout);
-  tracer.ReportMetrics();
-  return 0;
+  session.AddManifestValue("replans_per_sec_best", best_rps);
+  return session.Finish();
 }

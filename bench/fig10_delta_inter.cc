@@ -18,14 +18,16 @@
 
 int main(int argc, char** argv) {
   using namespace sunflow;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const int threads = bench::Threads(flags);
-  const std::string engine_name = bench::Engine(flags, "circuit");
-  if (bench::HandleHelp(flags, "Figure 10: inter sensitivity to delta"))
-    return 0;
-  bench::Banner("Figure 10 — inter-Coflow CCT vs delta (normalized to 10ms)",
-                w);
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "fig10_delta_inter",
+       .help = "Figure 10: inter sensitivity to delta",
+       .banner = "Figure 10 — inter-Coflow CCT vs delta (normalized to 10ms)",
+       .engine_default = "circuit"});
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const int threads = session.threads();
+  const std::string& engine_name = session.engine();
 
   const auto policy = MakeShortestFirstPolicy();
 
@@ -64,5 +66,5 @@ int main(int argc, char** argv) {
       "paper: avg 4.91 / 1.00 / 0.65 / 0.61 / 0.61; p95 7.22 / 1.00 / 0.98 "
       "/ 0.98 / 0.98");
   table.Print(std::cout);
-  return 0;
+  return session.Finish();
 }

@@ -15,22 +15,35 @@
 int main(int argc, char** argv) {
   using namespace sunflow;
   using namespace sunflow::exp;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const double delta_ms = flags.GetDouble("delta_ms", 10.0, "δ in ms");
-  const int threads = bench::Threads(flags);
-  const std::string engine = bench::Engine(flags, "");
-  if (bench::HandleHelp(flags, "Figure 3: CCT vs TcL across link rates"))
-    return 0;
-  bench::Banner("Figure 3 — CCT/TcL for Sunflow and Solstice", w);
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "fig3_intra_vs_tcl",
+       .help = "Figure 3: CCT vs TcL across link rates",
+       .banner = "Figure 3 — CCT/TcL for Sunflow and Solstice",
+       .engine_default = ""});
+  const double delta_ms =
+      session.flags().GetDouble("delta_ms", 10.0, "δ in ms");
+  const bool all_algos = session.flags().GetBool(
+      "all_algos", false,
+      "also run TMS and Edmonds (slower; fills in their phase profile)");
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const int threads = session.threads();
+  const std::string& engine = session.engine();
+
+  std::vector<IntraAlgorithm> algorithms = {IntraAlgorithm::kSunflow,
+                                            IntraAlgorithm::kSolstice};
+  if (all_algos) {
+    algorithms.push_back(IntraAlgorithm::kTms);
+    algorithms.push_back(IntraAlgorithm::kEdmonds);
+  }
 
   TextTable table("CCT / TcL (delta = " + TextTable::Fmt(delta_ms, 2) +
                   " ms)");
   table.SetHeader({"B", "algorithm", "mean", "p50", "p95", "max",
                    "frac>=2x"});
   for (double gbps : {1.0, 10.0, 100.0}) {
-    for (auto algorithm :
-         {IntraAlgorithm::kSunflow, IntraAlgorithm::kSolstice}) {
+    for (auto algorithm : algorithms) {
       IntraRunConfig cfg;
       cfg.bandwidth = Gbps(gbps);
       cfg.delta = Millis(delta_ms);
@@ -63,8 +76,7 @@ int main(int argc, char** argv) {
   cfg.engine = engine;
   TextTable cat("Per-category mean CCT/TcL at 1 Gbps");
   cat.SetHeader({"algorithm", "O2O", "O2M", "M2O", "M2M"});
-  for (auto algorithm :
-       {IntraAlgorithm::kSunflow, IntraAlgorithm::kSolstice}) {
+  for (auto algorithm : algorithms) {
     const auto run = RunIntra(w.trace, algorithm, cfg);
     double sum[4] = {0, 0, 0, 0};
     int count[4] = {0, 0, 0, 0};
@@ -83,5 +95,5 @@ int main(int argc, char** argv) {
       "paper: O2O/O2M/M2O achieve exactly 1.0 for both algorithms; the gap "
       "is in M2M");
   cat.Print(std::cout);
-  return 0;
+  return session.Finish();
 }

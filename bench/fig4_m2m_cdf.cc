@@ -14,14 +14,16 @@
 int main(int argc, char** argv) {
   using namespace sunflow;
   using namespace sunflow::exp;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const int threads = bench::Threads(flags);
-  const std::string engine = bench::Engine(flags, "");
-  if (bench::HandleHelp(flags, "Figure 4: M2M CDFs of CCT over bounds"))
-    return 0;
-  bench::Banner("Figure 4 — CCT over lower bounds on many-to-many coflows",
-                w);
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "fig4_m2m_cdf",
+       .help = "Figure 4: M2M CDFs of CCT over bounds",
+       .banner = "Figure 4 — CCT over lower bounds on many-to-many coflows",
+       .engine_default = ""});
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const int threads = session.threads();
+  const std::string& engine = session.engine();
 
   IntraRunConfig cfg;
   cfg.threads = threads;
@@ -53,5 +55,5 @@ int main(int argc, char** argv) {
   table.AddFootnote("paper: Sunflow CCT/TcL 1.10 mean / 1.46 p95 (< 2)");
   table.AddFootnote("paper: Solstice CCT/TcL 2.81 mean / 7.70 p95");
   table.Print(std::cout);
-  return 0;
+  return session.Finish();
 }

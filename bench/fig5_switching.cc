@@ -15,14 +15,17 @@
 int main(int argc, char** argv) {
   using namespace sunflow;
   using namespace sunflow::exp;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const int threads = bench::Threads(flags);
-  const std::string engine = bench::Engine(flags, "");
-  bench::BenchTracer tracer(flags);
-  if (bench::HandleHelp(flags, "Figure 5: normalized switching counts"))
-    return 0;
-  bench::Banner("Figure 5 — switching count over minimum (M2M coflows)", w);
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "fig5_switching",
+       .help = "Figure 5: normalized switching counts",
+       .banner = "Figure 5 — switching count over minimum (M2M coflows)",
+       .engine_default = ""});
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const int threads = session.threads();
+  const std::string& engine = session.engine();
+  bench::BenchTracer& tracer = session.tracer();
 
   IntraRunConfig cfg;
   cfg.sink = tracer.sink();
@@ -79,7 +82,5 @@ int main(int argc, char** argv) {
       "paper: Sunflow always exactly 1.0; Solstice grows with |C|, "
       "correlation 0.84");
   table.Print(std::cout);
-  tracer.Finish();
-  tracer.ReportMetrics();
-  return 0;
+  return session.Finish();
 }

@@ -15,16 +15,18 @@
 int main(int argc, char** argv) {
   using namespace sunflow;
   using namespace sunflow::exp;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const bool include_solstice = flags.GetBool(
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "fig6_delta_intra",
+       .help = "Figure 6: intra sensitivity to delta",
+       .banner = "Figure 6 — intra-Coflow CCT vs delta (normalized to 10ms)",
+       .engine_default = ""});
+  const bool include_solstice = session.flags().GetBool(
       "solstice", true, "also sweep Solstice for the §5.3.1 comparison");
-  const int threads = bench::Threads(flags);
-  const std::string engine = bench::Engine(flags, "");
-  if (bench::HandleHelp(flags, "Figure 6: intra sensitivity to delta"))
-    return 0;
-  bench::Banner("Figure 6 — intra-Coflow CCT vs delta (normalized to 10ms)",
-                w);
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const int threads = session.threads();
+  const std::string& engine = session.engine();
 
   const std::vector<std::pair<std::string, Time>> deltas = {
       {"100ms", Millis(100)}, {"10ms", Millis(10)},   {"1ms", Millis(1)},
@@ -68,5 +70,5 @@ int main(int argc, char** argv) {
     }
     table.Print(std::cout);
   }
-  return 0;
+  return session.Finish();
 }

@@ -17,15 +17,20 @@
 int main(int argc, char** argv) {
   using namespace sunflow;
   using namespace sunflow::exp;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const double delta_ms = flags.GetDouble("delta_ms", 10.0, "δ in ms");
-  const std::string csv_out = flags.GetString(
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "fig7_vs_tpl",
+       .help = "Figure 7: Sunflow CCT vs TpL",
+       .banner = "Figure 7 — Sunflow CCT vs packet lower bound",
+       .engine_default = ""});
+  const double delta_ms =
+      session.flags().GetDouble("delta_ms", 10.0, "δ in ms");
+  const std::string csv_out = session.flags().GetString(
       "csv_out", "", "write per-coflow (tpl, cct, pavg, long) rows here");
-  const int threads = bench::Threads(flags);
-  const std::string engine = bench::Engine(flags, "");
-  if (bench::HandleHelp(flags, "Figure 7: Sunflow CCT vs TpL")) return 0;
-  bench::Banner("Figure 7 — Sunflow CCT vs packet lower bound", w);
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const int threads = session.threads();
+  const std::string& engine = session.engine();
 
   IntraRunConfig cfg;
   cfg.delta = Millis(delta_ms);
@@ -101,5 +106,5 @@ int main(int argc, char** argv) {
     WriteCsv(csv_out, {tpl_col, cct_col, pavg_col, long_col});
     std::cout << "per-coflow data written to " << csv_out << "\n";
   }
-  return 0;
+  return session.Finish();
 }

@@ -18,15 +18,21 @@
 int main(int argc, char** argv) {
   using namespace sunflow;
   using namespace sunflow::exp;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const double delta_ms = flags.GetDouble("delta_ms", 10.0, "δ in ms");
-  const int threads = bench::Threads(flags);
-  const std::string engine = bench::Engine(flags, "circuit");
-  bench::BenchTracer tracer(flags);
-  if (bench::HandleHelp(flags, "Figure 8: inter-Coflow avg CCT vs idleness"))
-    return 0;
-  bench::Banner("Figure 8 — inter-Coflow comparison with Varys and Aalo", w);
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "fig8_inter_idleness",
+       .help = "Figure 8: inter-Coflow avg CCT vs idleness",
+       .banner = "Figure 8 — inter-Coflow comparison with Varys and Aalo",
+       .engine_default = "circuit"});
+  const double delta_ms =
+      session.flags().GetDouble("delta_ms", 10.0, "δ in ms");
+  const bool all_bandwidths = session.flags().GetBool(
+      "all_bandwidths", false, "also sweep B = 10 and 100 Gbps");
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const int threads = session.threads();
+  const std::string& engine = session.engine();
+  bench::BenchTracer& tracer = session.tracer();
 
   InterRunConfig cfg;
   cfg.delta = Millis(delta_ms);
@@ -103,8 +109,7 @@ int main(int argc, char** argv) {
   // Paper Fig 8 repeats the sweep at 10 and 100 Gbps (byte sizes re-scaled
   // to the same idleness levels at each B); pass --all_bandwidths to run
   // them — each extra B roughly doubles the runtime.
-  if (flags.GetBool("all_bandwidths", false,
-                    "also sweep B = 10 and 100 Gbps")) {
+  if (all_bandwidths) {
     for (double gbps : {10.0, 100.0}) {
       InterRunConfig bcfg = cfg;
       bcfg.bandwidth = Gbps(gbps);
@@ -130,7 +135,5 @@ int main(int argc, char** argv) {
   fig8.AddFootnote(
       "paper Sun/Aalo: 0.48-0.83 (12-40%), 0.95 (81%), 2.40 (98%)");
   fig8.Print(std::cout);
-  tracer.Finish();
-  tracer.ReportMetrics();
-  return 0;
+  return session.Finish();
 }

@@ -18,16 +18,20 @@
 int main(int argc, char** argv) {
   using namespace sunflow;
   using namespace sunflow::exp;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const double delta_ms = flags.GetDouble("delta_ms", 10.0, "δ in ms");
-  const std::string csv_out = flags.GetString(
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "fig9_cct_diff",
+       .help = "Figure 9: per-coflow delta-CCT vs TpL",
+       .banner = "Figure 9 — Sunflow CCT minus Varys/Aalo CCT by TpL",
+       .engine_default = "circuit"});
+  const double delta_ms =
+      session.flags().GetDouble("delta_ms", 10.0, "δ in ms");
+  const std::string csv_out = session.flags().GetString(
       "csv_out", "", "write per-coflow (tpl, dcct_varys, dcct_aalo) here");
-  const int threads = bench::Threads(flags);
-  const std::string engine = bench::Engine(flags, "circuit");
-  if (bench::HandleHelp(flags, "Figure 9: per-coflow delta-CCT vs TpL"))
-    return 0;
-  bench::Banner("Figure 9 — Sunflow CCT minus Varys/Aalo CCT by TpL", w);
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const int threads = session.threads();
+  const std::string& engine = session.engine();
 
   InterRunConfig cfg;
   cfg.delta = Millis(delta_ms);
@@ -89,5 +93,5 @@ int main(int argc, char** argv) {
     WriteCsv(csv_out, {tpl_col, dv, da});
     std::cout << "per-coflow data written to " << csv_out << "\n";
   }
-  return 0;
+  return session.Finish();
 }

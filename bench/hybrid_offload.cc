@@ -17,15 +17,18 @@
 
 int main(int argc, char** argv) {
   using namespace sunflow;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const double packet_gbps = flags.GetDouble(
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "hybrid_offload",
+       .help = "Hybrid circuit/packet offload sweep",
+       .banner = "Hybrid OCS + packet offload (§6 deployment discussion)"});
+  const double packet_gbps = session.flags().GetDouble(
       "packet_gbps", 0.1, "companion packet network bandwidth");
-  const double delta_ms = flags.GetDouble("delta_ms", 10.0, "δ in ms");
-  const int threads = bench::Threads(flags);
-  if (bench::HandleHelp(flags, "Hybrid circuit/packet offload sweep"))
-    return 0;
-  bench::Banner("Hybrid OCS + packet offload (§6 deployment discussion)", w);
+  const double delta_ms =
+      session.flags().GetDouble("delta_ms", 10.0, "δ in ms");
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const int threads = session.threads();
 
   const auto policy = MakeShortestFirstPolicy();
 
@@ -90,5 +93,5 @@ int main(int argc, char** argv) {
       "--delta_ms=100) — consistent with §6 reserving the packet side for "
       "leftover traffic, not whole coflows");
   table.Print(std::cout);
-  return 0;
+  return session.Finish();
 }

@@ -18,18 +18,22 @@
 
 int main(int argc, char** argv) {
   using namespace sunflow;
-  CliFlags flags(argc, argv);
-  const auto trials = flags.GetInt("trials", 300, "random coflows per size");
-  const double delta_ms = flags.GetDouble("delta_ms", 10.0, "δ in ms");
-  const auto seed = flags.GetInt("seed", 2016, "base seed for random coflows");
-  const int threads = bench::Threads(flags);
-  if (flags.help_requested()) {
-    flags.PrintHelp("Sunflow vs exact non-preemptive optimum");
-    return 0;
-  }
-  std::printf("### Sunflow vs exact optimum (branch-and-bound, %lld random "
-              "coflows per |C|)\n\n",
-              static_cast<long long>(trials));
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "optimality_gap",
+       .help = "Sunflow vs exact non-preemptive optimum",
+       .banner = "Sunflow vs exact optimum (branch-and-bound over random "
+                 "coflows per |C|)",
+       .load_workload = false});
+  const auto trials =
+      session.flags().GetInt("trials", 300, "random coflows per size");
+  const double delta_ms =
+      session.flags().GetDouble("delta_ms", 10.0, "δ in ms");
+  const auto seed =
+      session.flags().GetInt("seed", 2016, "base seed for random coflows");
+  if (session.done()) return 0;
+  session.SetManifestSeed(static_cast<std::uint64_t>(seed));
+  const int threads = session.threads();
 
   SunflowConfig cfg;
   cfg.delta = Millis(delta_ms);
@@ -90,5 +94,5 @@ int main(int argc, char** argv) {
       "Lemma 1 guarantees Sunflow/OPT <= Sunflow/TcL <= 2; the measured "
       "gap to the true optimum is the tighter story");
   table.Print(std::cout);
-  return 0;
+  return session.Finish();
 }

@@ -14,11 +14,14 @@
 int main(int argc, char** argv) {
   using namespace sunflow;
   using namespace sunflow::exp;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const int threads = bench::Threads(flags);
-  if (bench::HandleHelp(flags, "Reservation-ordering sensitivity")) return 0;
-  bench::Banner("§5.3.1 — sensitivity to reservation ordering", w);
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "ordering_sensitivity",
+       .help = "Reservation-ordering sensitivity",
+       .banner = "§5.3.1 — sensitivity to reservation ordering"});
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const int threads = session.threads();
 
   IntraRunConfig base_cfg;
   base_cfg.order = ReservationOrder::kOrderedPort;
@@ -51,5 +54,5 @@ int main(int argc, char** argv) {
       "paper: Random 0.94 avg / 1.01 p95; SortedDemand 0.95 / 1.01 — "
       "insensitive");
   table.Print(std::cout);
-  return 0;
+  return session.Finish();
 }

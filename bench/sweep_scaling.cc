@@ -50,15 +50,17 @@ bool SameRecords(const std::vector<IntraRecord>& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  const int max_threads = bench::Threads(flags);
-  const auto repeat =
-      flags.GetInt("repeat", 3, "timed repetitions per point (best-of)");
-  bench::BenchTracer tracer(flags);
-  if (bench::HandleHelp(flags, "Sweep-engine scaling microbench"))
-    return 0;
-  bench::Banner("Parallel sweep scaling — RunIntra across thread counts", w);
+  sunflow::bench::BenchSession session(
+      argc, argv,
+      {.name = "sweep_scaling",
+       .help = "Sweep-engine scaling microbench",
+       .banner = "Parallel sweep scaling — RunIntra across thread counts"});
+  const auto repeat = session.flags().GetInt(
+      "repeat", 3, "timed repetitions per point (best-of)");
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
+  const int max_threads = session.threads();
+  bench::BenchTracer& tracer = session.tracer();
 
   IntraRunConfig cfg;
 
@@ -102,8 +104,8 @@ int main(int argc, char** argv) {
     cfg.threads = max_threads;
     cfg.sink = tracer.sink();
     RunIntra(w.trace, IntraAlgorithm::kSunflow, cfg);
-    tracer.Finish();
   }
-  tracer.ReportMetrics();
+  session.AddManifestValue("best_speedup", best_speedup);
+  session.Finish();
   return all_identical ? 0 : 1;
 }

@@ -10,14 +10,16 @@
 
 int main(int argc, char** argv) {
   using namespace sunflow;
-  CliFlags flags(argc, argv);
-  bench::Workload w = bench::LoadWorkload(flags);
-  // Classification is pure counting; the flag is accepted for CLI
-  // uniformity across bench targets but has nothing to parallelize.
-  (void)bench::Threads(flags);
-  if (bench::HandleHelp(flags, "Table 4: coflow classification")) return 0;
-  bench::Banner("Table 4 — Coflow classification by sender-to-receiver ratio",
-                w);
+  // --threads is accepted for CLI uniformity across bench targets but
+  // classification is pure counting; there is nothing to parallelize.
+  bench::BenchSession session(
+      argc, argv,
+      {.name = "table4_traffic",
+       .help = "Table 4: coflow classification",
+       .banner =
+           "Table 4 — Coflow classification by sender-to-receiver ratio"});
+  if (session.done()) return 0;
+  const bench::Workload& w = session.workload();
 
   const auto breakdown = exp::ClassifyTrace(w.trace);
 
@@ -37,5 +39,5 @@ int main(int argc, char** argv) {
   table.AddFootnote("paper: Coflow% 23.4 / 9.9 / 40.1 / 26.6");
   table.AddFootnote("paper: Bytes%  0.005 / 0.024 / 0.028 / 99.943");
   table.Print(std::cout);
-  return 0;
+  return session.Finish();
 }

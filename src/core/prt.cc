@@ -5,6 +5,7 @@
 
 #include "common/assert.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace sunflow {
 
@@ -70,6 +71,7 @@ Time PortReservationTable::NextReservationStartAfter(PortId in, PortId out,
 }
 
 void PortReservationTable::Reserve(const CircuitReservation& r) {
+  SUNFLOW_PROFILE_SCOPE("prt.reserve");
   SUNFLOW_CHECK(r.in >= 0 && r.in < num_ports_);
   SUNFLOW_CHECK(r.out >= 0 && r.out < num_ports_);
   SUNFLOW_CHECK_MSG(r.end > r.start + kTimeEps,

@@ -5,6 +5,7 @@
 
 #include "common/assert.h"
 #include "common/rng.h"
+#include "obs/profiler.h"
 #include "obs/trace_sink.h"
 
 namespace sunflow {
@@ -118,6 +119,7 @@ std::vector<FlowDemand> SunflowPlanner::Ordered(const PlanRequest& request) {
 
 Time SunflowPlanner::ScheduleOne(const PlanRequest& request,
                                  SunflowSchedule& out) {
+  SUNFLOW_PROFILE_SCOPE("core.plan");
   const Time delta = config_.delta;
   std::vector<FlowDemand> pending = Ordered(request);
   // Drop zero-demand entries up front (Equation 3: t_ij = 0 when p_ij = 0).

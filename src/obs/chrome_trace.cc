@@ -169,6 +169,9 @@ void WriteChromeTraceFile(const std::string& path,
   std::ofstream f(path);
   if (!f) throw std::runtime_error("cannot open trace output " + path);
   WriteChromeTrace(f, events, options);
+  // Flush before checking so a full disk surfaces here, not in the
+  // silent ofstream destructor.
+  f.flush();
   if (!f.good()) throw std::runtime_error("error writing trace to " + path);
 }
 

@@ -88,6 +88,19 @@ void JsonlStreamSink::OnEvent(const Event& event) {
   WriteJsonlEvent(out_, event);
 }
 
+JsonlStreamSink::~JsonlStreamSink() {
+  // Best-effort: destructors must not throw, but the flush still makes
+  // the already-written lines durable on early exit / unwind.
+  out_.flush();
+}
+
+void JsonlStreamSink::Flush() {
+  out_.flush();
+  if (!out_.good()) {
+    throw std::runtime_error("jsonl sink: stream failed during flush");
+  }
+}
+
 namespace {
 
 // Minimal field scanner for the exact shape WriteJsonlEvent produces (and

@@ -1,0 +1,190 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <ostream>
+#include <unordered_map>
+
+namespace sunflow::obs {
+
+void PhaseStats::MergeFrom(const PhaseStats& other) {
+  count += other.count;
+  total_ns += other.total_ns;
+  self_ns += other.self_ns;
+  max_ns = std::max(max_ns, other.max_ns);
+}
+
+PhaseStats& Profiler::GetPhase(std::string_view name) {
+  auto it = phases_.find(name);
+  if (it == phases_.end()) it = phases_.try_emplace(std::string(name)).first;
+  return it->second;
+}
+
+const PhaseStats* Profiler::FindPhase(std::string_view name) const {
+  const auto it = phases_.find(name);
+  return it != phases_.end() ? &it->second : nullptr;
+}
+
+void Profiler::RecordNs(std::string_view name, double ns) {
+  PhaseStats& s = GetPhase(name);
+  ++s.count;
+  s.total_ns += ns;
+  s.self_ns += ns;
+  s.max_ns = std::max(s.max_ns, ns);
+}
+
+std::vector<ProfileRow> Profiler::Rows() const {
+  std::vector<ProfileRow> rows;
+  rows.reserve(phases_.size());
+  for (const auto& [name, stats] : phases_) rows.push_back({name, stats});
+  return rows;  // map order == sorted by name
+}
+
+void Profiler::WriteText(std::ostream& out) const {
+  for (const ProfileRow& row : Rows()) {
+    out << row.name << " count=" << row.stats.count
+        << " total_ms=" << row.stats.total_ns / 1e6
+        << " self_ms=" << row.stats.self_ns / 1e6
+        << " mean_us=" << row.stats.mean_ns() / 1e3
+        << " max_us=" << row.stats.max_ns / 1e3 << "\n";
+  }
+}
+
+void Profiler::MergeFrom(const Profiler& other) {
+  for (const auto& [name, stats] : other.phases_)
+    GetPhase(name).MergeFrom(stats);
+}
+
+void Profiler::Reset() {
+  for (auto& [name, stats] : phases_) stats = PhaseStats{};
+}
+
+std::uint64_t Profiler::TotalCount() const {
+  std::uint64_t n = 0;
+  for (const auto& [name, stats] : phases_) n += stats.count;
+  return n;
+}
+
+namespace {
+
+// Same shard-cache shape as ShardedMetricsRegistry: keyed by (pointer,
+// incarnation id) so a profiler destroyed and reallocated at one address
+// misses instead of resolving to a dangling shard.
+struct ShardSlot {
+  std::uint64_t id = 0;
+  Profiler* shard = nullptr;
+};
+
+std::uint64_t NextProfilerId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+
+}  // namespace
+
+ShardedProfiler::ShardedProfiler() : id_(NextProfilerId()) {}
+
+Profiler& ShardedProfiler::Shard() {
+  thread_local std::unordered_map<const ShardedProfiler*, ShardSlot> cache;
+  ShardSlot& slot = cache[this];
+  if (slot.shard != nullptr && slot.id == id_) return *slot.shard;
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Profiler>());
+  slot = {id_, shards_.back().get()};
+  return *slot.shard;
+}
+
+Profiler ShardedProfiler::Merged() const {
+  Profiler merged;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) merged.MergeFrom(*shard);
+  return merged;
+}
+
+std::vector<ProfileRow> ShardedProfiler::Rows() const {
+  return Merged().Rows();
+}
+
+void ShardedProfiler::WriteText(std::ostream& out) const {
+  Merged().WriteText(out);
+}
+
+void ShardedProfiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) shard->Reset();
+}
+
+ShardedProfiler& GlobalProfiler() {
+  static ShardedProfiler& profiler =
+      *new ShardedProfiler();  // leaked: outlives worker threads
+  return profiler;
+}
+
+bool ProfilingEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetProfilingEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+double CalibrateScopeCostNs() {
+  // Replays the exact work an enabled scope does (lookup + two clock
+  // reads + accumulation) against a throwaway shard, best-of-3 batches so
+  // a scheduler hiccup cannot inflate the estimate.
+  Profiler scratch;
+  constexpr int kBatch = 2000;
+  double best = 1e300;
+  for (int round = 0; round < 3; ++round) {
+    const auto begin = std::chrono::steady_clock::now();
+    for (int i = 0; i < kBatch; ++i) {
+      PhaseStats& s = scratch.GetPhase("profiler.calibration");
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ns =
+          std::chrono::duration<double, std::nano>(t1 - t0).count();
+      ++s.count;
+      s.total_ns += ns;
+      s.self_ns += ns;
+      s.max_ns = std::max(s.max_ns, ns);
+    }
+    const double batch_ns = std::chrono::duration<double, std::nano>(
+                                std::chrono::steady_clock::now() - begin)
+                                .count();
+    best = std::min(best, batch_ns / kBatch);
+  }
+  return best;
+}
+
+namespace {
+// Innermost open scope on this thread — the parent for nested attribution.
+thread_local ProfileScope* g_current_scope = nullptr;
+}  // namespace
+
+ProfileScope::ProfileScope(std::string_view name) {
+  if (!ProfilingEnabled()) return;
+  stats_ = &GlobalProfiler().Shard().GetPhase(name);
+  parent_ = g_current_scope;
+  g_current_scope = this;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ProfileScope::~ProfileScope() {
+  if (stats_ == nullptr) return;
+  const double dur_ns = std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+  ++stats_->count;
+  stats_->total_ns += dur_ns;
+  stats_->self_ns += dur_ns - child_ns_;
+  stats_->max_ns = std::max(stats_->max_ns, dur_ns);
+  if (parent_ != nullptr) parent_->child_ns_ += dur_ns;
+  g_current_scope = parent_;
+}
+
+}  // namespace sunflow::obs

@@ -102,7 +102,14 @@ class MemorySink : public TraceSink {
 class JsonlStreamSink : public TraceSink {
  public:
   explicit JsonlStreamSink(std::ostream& out) : out_(out) {}
+  /// Flushes on destruction so lines written before an early exit or an
+  /// exception unwind reach the stream (the referenced stream's own
+  /// destructor does not run here).
+  ~JsonlStreamSink() override;
   void OnEvent(const Event& event) override;
+  /// Flushes the underlying stream; throws std::runtime_error if the
+  /// stream has failed (e.g. disk full), so truncation is loud.
+  void Flush();
 
  private:
   std::ostream& out_;

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "obs/trace_sink.h"
 #include "runtime/thread_pool.h"
 
@@ -77,6 +78,10 @@ class SweepRunner {
     sweep.results.resize(n);
     std::vector<obs::MemorySink> sinks(capture_events ? n : 0);
     pool_.ParallelFor(0, n, [&](std::size_t i) {
+      // One phase entry per dispatched task: total_ns sums the pool's busy
+      // time across workers; self_ns nets out profiled work inside the
+      // task, leaving the dispatch + result-write overhead.
+      SUNFLOW_PROFILE_SCOPE("runtime.task");
       TaskContext ctx;
       ctx.index = i;
       ctx.seed = TaskSeed(config_.base_seed, i);

@@ -4,11 +4,13 @@
 
 #include "common/assert.h"
 #include "matching/bipartite.h"
+#include "obs/profiler.h"
 
 namespace sunflow {
 
 AssignmentSchedule ScheduleEdmonds(const DemandMatrix& demand,
                                    const EdmondsConfig& config) {
+  SUNFLOW_PROFILE_SCOPE("sched.edmonds");
   SUNFLOW_CHECK_MSG(demand.rows() == demand.cols(),
                     "Edmonds needs a square matrix; call MakeSquare()");
   SUNFLOW_CHECK(config.slot_duration > 0);
@@ -32,7 +34,10 @@ AssignmentSchedule ScheduleEdmonds(const DemandMatrix& demand,
         weight[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
             remaining.at(r, c);
 
-    std::vector<int> assignment = MaxWeightAssignment(weight);
+    std::vector<int> assignment = [&] {
+      SUNFLOW_PROFILE_SCOPE("sched.edmonds.matching");
+      return MaxWeightAssignment(weight);
+    }();
     // Circuits matched to zero-demand pairs carry nothing: drop them so the
     // executor does not pay setup for them.
     WeightedAssignment slot;

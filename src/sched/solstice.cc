@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace sunflow {
 
@@ -12,6 +13,7 @@ AssignmentSchedule ScheduleSolstice(const DemandMatrix& demand,
   static thread_local obs::Histogram& compute_ns =
       obs::GlobalMetrics().GetHistogram("scheduler.solstice.compute_ns");
   obs::ScopedTimer timer(compute_ns);
+  SUNFLOW_PROFILE_SCOPE("sched.solstice");
   SUNFLOW_CHECK_MSG(demand.rows() == demand.cols(),
                     "Solstice needs a square matrix; call MakeSquare()");
   AssignmentSchedule schedule;
@@ -43,9 +45,16 @@ AssignmentSchedule ScheduleSolstice(const DemandMatrix& demand,
   }
 
   DemandMatrix stuffed = demand;
-  const Time target = QuickStuff(stuffed);
+  Time target = 0;
+  {
+    SUNFLOW_PROFILE_SCOPE("sched.solstice.stuff");
+    target = QuickStuff(stuffed);
+  }
   const Time eps = std::max(kTimeEps, target * config.rel_floor);
-  schedule.slots = BigSliceDecompose(std::move(stuffed), eps);
+  {
+    SUNFLOW_PROFILE_SCOPE("sched.solstice.slice");
+    schedule.slots = BigSliceDecompose(std::move(stuffed), eps);
+  }
   return schedule;
 }
 

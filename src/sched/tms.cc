@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace sunflow {
 
@@ -30,6 +31,7 @@ AssignmentSchedule ScheduleTms(const DemandMatrix& demand,
   static thread_local obs::Histogram& compute_ns =
       obs::GlobalMetrics().GetHistogram("scheduler.tms.compute_ns");
   obs::ScopedTimer timer(compute_ns);
+  SUNFLOW_PROFILE_SCOPE("sched.tms");
   SUNFLOW_CHECK_MSG(demand.rows() == demand.cols(),
                     "TMS needs a square matrix; call MakeSquare()");
   AssignmentSchedule schedule;
@@ -42,10 +44,15 @@ AssignmentSchedule ScheduleTms(const DemandMatrix& demand,
     const Time target = remaining.MaxLineSum();
     // Sinkhorn towards doubly stochastic (scaled to the line-sum target),
     // then QuickStuff to make the matrix exactly perfect for BvN.
-    DemandMatrix scaled = SinkhornScale(remaining, target,
-                                        config.sinkhorn_iterations);
+    DemandMatrix scaled = [&] {
+      SUNFLOW_PROFILE_SCOPE("sched.tms.sinkhorn");
+      return SinkhornScale(remaining, target, config.sinkhorn_iterations);
+    }();
     QuickStuff(scaled);
-    auto slots = BvnDecompose(std::move(scaled));
+    auto slots = [&] {
+      SUNFLOW_PROFILE_SCOPE("sched.tms.bvn");
+      return BvnDecompose(std::move(scaled));
+    }();
     SubtractServed(remaining, slots);
     schedule.slots.insert(schedule.slots.end(),
                           std::make_move_iterator(slots.begin()),
@@ -55,7 +62,10 @@ AssignmentSchedule ScheduleTms(const DemandMatrix& demand,
     // Exact cleanup: stuff and BvN the true residual so coverage is total.
     DemandMatrix residual = remaining;
     QuickStuff(residual);
-    auto slots = BvnDecompose(std::move(residual));
+    auto slots = [&] {
+      SUNFLOW_PROFILE_SCOPE("sched.tms.bvn");
+      return BvnDecompose(std::move(residual));
+    }();
     schedule.slots.insert(schedule.slots.end(),
                           std::make_move_iterator(slots.begin()),
                           std::make_move_iterator(slots.end()));

@@ -4,11 +4,13 @@
 
 #include "common/assert.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace_sink.h"
 
 namespace sunflow::engine {
 
 EngineResult ReplayDriver::Run(ScenarioPolicy& scenario) {
+  SUNFLOW_PROFILE_SCOPE("engine.replay");
   SimState& s = state_;
   Time t = 0;
   std::size_t steps = 0;
@@ -23,9 +25,18 @@ EngineResult ReplayDriver::Run(ScenarioPolicy& scenario) {
       t = std::max(t, s.NextReleaseTime());
       scenario.OnIdleGap(s, t);
     }
-    AdmitDue(scenario, t);
-    t = scenario.ExecuteSpan(*this, t);
-    Harvest(scenario, t);
+    {
+      SUNFLOW_PROFILE_SCOPE("engine.admit");
+      AdmitDue(scenario, t);
+    }
+    {
+      SUNFLOW_PROFILE_SCOPE("engine.execute");
+      t = scenario.ExecuteSpan(*this, t);
+    }
+    {
+      SUNFLOW_PROFILE_SCOPE("engine.harvest");
+      Harvest(scenario, t);
+    }
   }
 
   s.result().queue = s.releases().stats();
@@ -87,6 +98,10 @@ void ReplayDriver::NoteReplan(Time t, const SunflowSchedule& plan,
     result.reservations[id] += count;
   obs::GlobalMetrics().GetHistogram("scheduler.compute_ns").Record(plan_ns);
   obs::GlobalMetrics().GetCounter("replay.replans").Increment();
+  // Externally timed by the scenario (the same number the
+  // kAssignmentComputed event carries); lands next to the scope-measured
+  // engine.* phases so a manifest shows planning vs execution directly.
+  obs::GlobalProfiler().RecordNs("engine.plan", plan_ns);
   obs::Emit(state_.sink(),
             {.type = obs::EventType::kAssignmentComputed,
              .t = t,

@@ -1,0 +1,259 @@
+// Locks in the phase-profiler contract (obs/profiler.h): nested-scope
+// attribution, the sharded merge's thread-count invariance, the disabled
+// fast path, and the run-manifest JSON round trip built on obs/json.h.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "runtime/thread_pool.h"
+
+namespace sunflow::obs {
+namespace {
+
+void SpinFor(std::chrono::microseconds d) {
+  const auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(ProfilerTest, NestedScopesAttributeSelfAndTotal) {
+  GlobalProfiler().Reset();
+  {
+    ProfileScope outer("test.outer");
+    SpinFor(std::chrono::microseconds(200));
+    {
+      ProfileScope inner("test.inner");
+      SpinFor(std::chrono::microseconds(200));
+    }
+    SpinFor(std::chrono::microseconds(100));
+  }
+  const Profiler merged = GlobalProfiler().Merged();
+  const PhaseStats* outer = merged.FindPhase("test.outer");
+  const PhaseStats* inner = merged.FindPhase("test.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 1u);
+  // Inclusive parent time covers the child; exclusive time does not.
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+  EXPECT_NEAR(outer->self_ns, outer->total_ns - inner->total_ns,
+              outer->total_ns * 1e-9 + 1.0);
+  // The child is a leaf: self == total.
+  EXPECT_DOUBLE_EQ(inner->self_ns, inner->total_ns);
+  EXPECT_LE(inner->max_ns, inner->total_ns);
+  EXPECT_GT(inner->mean_ns(), 0);
+}
+
+TEST(ProfilerTest, SiblingScopesOfOnePhaseAccumulate) {
+  GlobalProfiler().Reset();
+  for (int i = 0; i < 5; ++i) {
+    SUNFLOW_PROFILE_SCOPE("test.sibling");
+  }
+  const Profiler merged = GlobalProfiler().Merged();
+  const PhaseStats* stats = merged.FindPhase("test.sibling");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count, 5u);
+  EXPECT_GE(stats->total_ns, stats->max_ns);
+}
+
+TEST(ProfilerTest, MergedCountsAreThreadCountInvariant) {
+  constexpr std::size_t kTasks = 40;
+  auto run_at = [](int threads) {
+    GlobalProfiler().Reset();
+    runtime::ThreadPool pool(threads);
+    pool.ParallelFor(0, kTasks, [](std::size_t) {
+      ProfileScope task("test.task");
+      {
+        ProfileScope inner("test.step");
+      }
+      {
+        ProfileScope inner("test.step");
+      }
+    });
+    return GlobalProfiler().Merged();
+  };
+  const Profiler serial = run_at(1);
+  const Profiler parallel = run_at(8);
+  for (const char* phase : {"test.task", "test.step"}) {
+    const PhaseStats* a = serial.FindPhase(phase);
+    const PhaseStats* b = parallel.FindPhase(phase);
+    ASSERT_NE(a, nullptr) << phase;
+    ASSERT_NE(b, nullptr) << phase;
+    // Durations are wall clock and vary; the counts are the contract.
+    EXPECT_EQ(a->count, b->count) << phase;
+  }
+  EXPECT_EQ(serial.FindPhase("test.task")->count, kTasks);
+  EXPECT_EQ(serial.FindPhase("test.step")->count, 2 * kTasks);
+}
+
+TEST(ProfilerTest, CrossThreadScopesLandInSeparateShardsAndMerge) {
+  GlobalProfiler().Reset();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 3; ++i) {
+        ProfileScope scope("test.worker");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const Profiler merged = GlobalProfiler().Merged();
+  ASSERT_NE(merged.FindPhase("test.worker"), nullptr);
+  EXPECT_EQ(merged.FindPhase("test.worker")->count, 12u);
+  EXPECT_EQ(merged.TotalCount(), 12u);
+}
+
+TEST(ProfilerTest, DisabledScopesRecordNothing) {
+  GlobalProfiler().Reset();
+  SetProfilingEnabled(false);
+  {
+    SUNFLOW_PROFILE_SCOPE("test.disabled");
+    ProfileScope explicit_scope("test.disabled_explicit");
+  }
+  SetProfilingEnabled(true);
+  const Profiler merged = GlobalProfiler().Merged();
+  EXPECT_EQ(merged.FindPhase("test.disabled"), nullptr);
+  EXPECT_EQ(merged.FindPhase("test.disabled_explicit"), nullptr);
+  EXPECT_EQ(merged.TotalCount(), 0u);
+}
+
+TEST(ProfilerTest, DisabledScopeIsNearFree) {
+  // The disabled path must stay a relaxed load — orders of magnitude
+  // under the enabled cost. Bounded loosely so sanitizer builds pass.
+  GlobalProfiler().Reset();
+  SetProfilingEnabled(false);
+  constexpr int kIters = 100000;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    SUNFLOW_PROFILE_SCOPE("test.disabled_cost");
+  }
+  const double ns_per_scope =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      kIters;
+  SetProfilingEnabled(true);
+  EXPECT_LT(ns_per_scope, 1000.0);
+}
+
+TEST(ProfilerTest, RecordNsOverlaysExternallyTimedPhases) {
+  GlobalProfiler().Reset();
+  GlobalProfiler().RecordNs("test.external", 1500.0);
+  GlobalProfiler().RecordNs("test.external", 500.0);
+  const Profiler merged = GlobalProfiler().Merged();
+  const PhaseStats* stats = merged.FindPhase("test.external");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count, 2u);
+  EXPECT_DOUBLE_EQ(stats->total_ns, 2000.0);
+  EXPECT_DOUBLE_EQ(stats->self_ns, 2000.0);
+  EXPECT_DOUBLE_EQ(stats->max_ns, 1500.0);
+}
+
+TEST(ProfilerTest, MergeFromIsCommutative) {
+  PhaseStats a{.count = 2, .total_ns = 100, .self_ns = 80, .max_ns = 60};
+  PhaseStats b{.count = 3, .total_ns = 50, .self_ns = 50, .max_ns = 30};
+  PhaseStats ab = a, ba = b;
+  ab.MergeFrom(b);
+  ba.MergeFrom(a);
+  EXPECT_EQ(ab.count, ba.count);
+  EXPECT_DOUBLE_EQ(ab.total_ns, ba.total_ns);
+  EXPECT_DOUBLE_EQ(ab.self_ns, ba.self_ns);
+  EXPECT_DOUBLE_EQ(ab.max_ns, ba.max_ns);
+  EXPECT_EQ(ab.count, 5u);
+  EXPECT_DOUBLE_EQ(ab.max_ns, 60);
+}
+
+TEST(ProfilerTest, WriteTextListsPhases) {
+  GlobalProfiler().Reset();
+  GlobalProfiler().RecordNs("test.render", 1e6);
+  std::ostringstream os;
+  GlobalProfiler().WriteText(os);
+  EXPECT_NE(os.str().find("test.render"), std::string::npos);
+}
+
+TEST(ProfilerTest, CalibrationIsPositiveAndSane) {
+  const double ns = CalibrateScopeCostNs();
+  EXPECT_GT(ns, 0);
+  EXPECT_LT(ns, 1e6);  // a scope must cost well under a millisecond
+}
+
+TEST(JsonTest, RoundTripsDocuments) {
+  const std::string text =
+      "{\"a\":[1,2.5,true,null,\"s\\u00e9\"],\"b\":{\"nested\":-3e2}}";
+  const JsonValue v = JsonValue::Parse(text);
+  EXPECT_EQ(v.at("a").size(), 5u);
+  EXPECT_DOUBLE_EQ(v.at("b").at("nested").AsNumber(), -300.0);
+  EXPECT_EQ(JsonValue::Parse(v.ToString()), v);
+  EXPECT_EQ(JsonValue::Parse(v.ToString(2)), v);  // pretty-print too
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::Parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse("[1,2"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse(""), std::runtime_error);
+}
+
+TEST(ManifestTest, JsonRoundTripPreservesEveryField) {
+  GlobalProfiler().Reset();
+  GlobalMetrics().Reset();
+  GlobalProfiler().RecordNs("test.phase", 4200.0);
+  GlobalMetrics().GetCounter("test.counter").Increment();
+
+  const char* argv[] = {"profiler_test", "--coflows=80"};
+  RunManifest m = RunManifest::Begin("profiler_test", 2, argv);
+  m.seed = 20161212;
+  m.threads = 8;
+  m.extra["replans_per_sec_best"] = 1234.5;
+  m.Finalize();
+
+  EXPECT_GT(m.wall_ns, 0);
+  EXPECT_GT(m.profile_ns_per_scope, 0);
+  ASSERT_EQ(m.profile.size(), 1u);
+  EXPECT_EQ(m.profile[0].name, "test.phase");
+
+  const JsonValue j = m.ToJson();
+  EXPECT_EQ(j.at("schema").AsString(), kRunManifestSchema);
+  EXPECT_EQ(j.at("tool").AsString(), "profiler_test");
+  EXPECT_EQ(j.at("argv").size(), 2u);
+  EXPECT_TRUE(j.at("profile").at("phases").Find("test.phase") != nullptr);
+
+  const RunManifest back = RunManifest::FromJson(j);
+  EXPECT_EQ(back.tool, m.tool);
+  EXPECT_EQ(back.argv, m.argv);
+  EXPECT_EQ(back.git_sha, m.git_sha);
+  EXPECT_EQ(back.git_dirty, m.git_dirty);
+  EXPECT_EQ(back.seed, m.seed);
+  EXPECT_EQ(back.threads, m.threads);
+  EXPECT_DOUBLE_EQ(back.wall_ns, m.wall_ns);
+  EXPECT_EQ(back.peak_rss_kb, m.peak_rss_kb);
+  EXPECT_DOUBLE_EQ(back.extra.at("replans_per_sec_best"), 1234.5);
+  ASSERT_EQ(back.profile.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.profile[0].stats.total_ns, 4200.0);
+  EXPECT_EQ(back.metrics.size(), m.metrics.size());
+  // The round trip is exact: re-serialization is byte-identical.
+  EXPECT_EQ(back.ToJson().ToString(), j.ToString());
+}
+
+TEST(ManifestTest, WriteFileThenParseFile) {
+  RunManifest m = RunManifest::Begin("profiler_test", 0, nullptr);
+  m.Finalize();
+  const std::string path = ::testing::TempDir() + "manifest_roundtrip.json";
+  m.WriteFile(path);
+  const JsonValue j = JsonValue::ParseFile(path);
+  EXPECT_EQ(j.at("schema").AsString(), kRunManifestSchema);
+  EXPECT_EQ(j.at("tool").AsString(), "profiler_test");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sunflow::obs

@@ -1,0 +1,215 @@
+// sunflow_bench_compare — diff two bench result files and gate on
+// regressions.
+//
+// Accepts either format the observability stack produces:
+//   - a run manifest ("sunflow.run_manifest/v1", one run — obs/manifest.h)
+//   - a bench aggregate ("sunflow.bench/v1", medians over N runs —
+//     bench/harness.py)
+// and compares wall time, peak RSS, every phase-profile entry, and any
+// throughput-style extras (keys containing "per_sec", where higher is
+// better). A metric regresses when the candidate is more than --threshold
+// worse than the baseline; tiny phases below --min_phase_ms are skipped
+// (their medians are timer noise, not signal).
+//
+// Usage:
+//   sunflow_bench_compare --baseline=BENCH_engine_replan.json
+//     --candidate=engine_replan.manifest.json [--threshold=0.15]
+//     [--min_phase_ms=1] [--warn_only]
+//
+// Exit status: 0 = within threshold, 1 = regression (0 with --warn_only),
+// 2 = unusable input. The row table always prints, so CI logs show the
+// full comparison either way.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "obs/json.h"
+
+using namespace sunflow;
+using obs::JsonValue;
+
+namespace {
+
+// One comparable series extracted from either input schema: the median
+// value of a named metric plus its improvement direction.
+struct Metric {
+  double value = 0;
+  bool higher_is_better = false;
+};
+
+// A bench aggregate stores each metric as {"median": x, "p95": y, ...};
+// a run manifest stores the scalar directly. Accept both.
+double MedianOf(const JsonValue& v) {
+  if (v.is_number()) return v.AsNumber();
+  if (v.is_object()) {
+    if (const JsonValue* m = v.Find("median")) return m->AsNumber();
+  }
+  throw std::runtime_error("metric is neither a number nor {median: ...}");
+}
+
+// Flattens the comparable metrics of one result file into name → Metric.
+// Names are namespaced (wall_ns, phase.<name>.total_ns, extra.<key>) so
+// the two schemas land on identical keys.
+std::map<std::string, Metric> ExtractMetrics(const JsonValue& doc,
+                                             const std::string& path) {
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    throw std::runtime_error(path + ": missing \"schema\"");
+  }
+  const bool is_manifest = schema->AsString() == "sunflow.run_manifest/v1";
+  const bool is_bench = schema->AsString() == "sunflow.bench/v1";
+  if (!is_manifest && !is_bench) {
+    throw std::runtime_error(path + ": unknown schema \"" +
+                             schema->AsString() + "\"");
+  }
+
+  std::map<std::string, Metric> out;
+  // Wall time and peak RSS live under "run" in a manifest and at the top
+  // level of a bench aggregate.
+  const JsonValue& scalars = is_manifest ? doc.at("run") : doc;
+  if (const JsonValue* wall = scalars.Find("wall_ns")) {
+    out["wall_ns"] = {MedianOf(*wall), false};
+  }
+  if (const JsonValue* rss = scalars.Find("peak_rss_kb")) {
+    out["peak_rss_kb"] = {MedianOf(*rss), false};
+  }
+
+  // Phase profile: manifest nests it as profile.phases.<name>.total_ns;
+  // the bench aggregate as phases.<name>.total_ns.{median,...}.
+  const JsonValue* phases = nullptr;
+  if (is_manifest) {
+    if (const JsonValue* profile = doc.Find("profile")) {
+      phases = profile->Find("phases");
+    }
+  } else {
+    phases = doc.Find("phases");
+  }
+  if (phases != nullptr && phases->is_object()) {
+    for (const auto& [name, stats] : phases->AsObject()) {
+      if (const JsonValue* total = stats.Find("total_ns")) {
+        out["phase." + name + ".total_ns"] = {MedianOf(*total), false};
+      }
+    }
+  }
+
+  // Bench-specific extras (replans_per_sec_best, best_speedup, ...): only
+  // rate-like keys have an unambiguous direction; the rest are skipped.
+  // A manifest flattens extras into "run"; the aggregate keeps "extra".
+  const JsonValue* extra = is_manifest ? doc.Find("run") : doc.Find("extra");
+  if (extra != nullptr && extra->is_object()) {
+    for (const auto& [name, v] : extra->AsObject()) {
+      if (name.find("per_sec") != std::string::npos) {
+        out["extra." + name] = {MedianOf(v), true};
+      }
+    }
+  }
+  return out;
+}
+
+std::string FmtValue(const std::string& name, double v) {
+  if (name.find("_ns") != std::string::npos) {
+    return TextTable::Fmt(v / 1e6, 2) + " ms";
+  }
+  return TextTable::Fmt(v, 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const std::string baseline_path =
+      flags.GetString("baseline", "", "baseline result file (json)");
+  const std::string candidate_path =
+      flags.GetString("candidate", "", "candidate result file (json)");
+  const double threshold = flags.GetDouble(
+      "threshold", 0.15,
+      "allowed relative slowdown before a metric counts as regressed");
+  const double min_phase_ms = flags.GetDouble(
+      "min_phase_ms", 1.0,
+      "ignore phases whose baseline total is below this (timer noise)");
+  const bool warn_only = flags.GetBool(
+      "warn_only", false, "report regressions but exit 0 (first-landing CI)");
+  if (flags.help_requested() || baseline_path.empty() ||
+      candidate_path.empty()) {
+    flags.PrintHelp("Diff two bench result files; exit 1 past the threshold");
+    return flags.help_requested() ? 0 : 2;
+  }
+
+  std::map<std::string, Metric> base, cand;
+  try {
+    base = ExtractMetrics(JsonValue::ParseFile(baseline_path), baseline_path);
+    cand = ExtractMetrics(JsonValue::ParseFile(candidate_path),
+                          candidate_path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (base.empty()) {
+    std::cerr << "error: " << baseline_path << " has no comparable metrics\n";
+    return 2;
+  }
+
+  TextTable table("bench_compare: " + candidate_path + " vs " +
+                  baseline_path);
+  table.SetHeader({"metric", "baseline", "candidate", "ratio", "verdict"});
+  std::vector<std::string> regressions;
+  int compared = 0;
+  for (const auto& [name, b] : base) {
+    const auto it = cand.find(name);
+    if (it == cand.end()) {
+      table.AddRow({name, FmtValue(name, b.value), "-", "-", "missing"});
+      continue;
+    }
+    const bool is_phase = name.rfind("phase.", 0) == 0;
+    if (is_phase && b.value < min_phase_ms * 1e6) {
+      table.AddRow({name, FmtValue(name, b.value),
+                    FmtValue(name, it->second.value), "-", "skipped (tiny)"});
+      continue;
+    }
+    const double c = it->second.value;
+    if (b.value <= 0) {
+      table.AddRow({name, FmtValue(name, b.value), FmtValue(name, c), "-",
+                    "skipped (zero base)"});
+      continue;
+    }
+    ++compared;
+    const double ratio = c / b.value;
+    const bool regressed = b.higher_is_better ? ratio < 1.0 - threshold
+                                              : ratio > 1.0 + threshold;
+    if (regressed) regressions.push_back(name);
+    table.AddRow({name, FmtValue(name, b.value), FmtValue(name, c),
+                  TextTable::Fmt(ratio, 3) + "x",
+                  regressed ? "REGRESSED" : "ok"});
+  }
+  for (const auto& [name, c] : cand) {
+    if (base.find(name) == base.end()) {
+      table.AddRow({name, "-", FmtValue(name, c.value), "-", "new"});
+    }
+  }
+  table.AddFootnote("threshold " + TextTable::FmtPct(threshold, 0) +
+                    ", phases under " + TextTable::Fmt(min_phase_ms, 1) +
+                    " ms skipped");
+  table.Print(std::cout);
+
+  if (compared == 0) {
+    std::cerr << "error: no metric present in both files\n";
+    return 2;
+  }
+  if (!regressions.empty()) {
+    std::printf("\n%zu regression(s) past %.0f%%:\n", regressions.size(),
+                threshold * 100);
+    for (const std::string& name : regressions) {
+      std::printf("  %s\n", name.c_str());
+    }
+    return warn_only ? 0 : 1;
+  }
+  std::printf("\nno regressions past %.0f%% (%d metrics compared)\n",
+              threshold * 100, compared);
+  return 0;
+}

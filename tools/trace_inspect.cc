@@ -121,8 +121,15 @@ int main(int argc, char** argv) {
     }
   }
   if (events.empty()) {
-    std::printf("empty trace\n");
-    return 0;
+    // An empty trace is almost always a truncated or wrong file (a crash
+    // before the flush, or a path typo), not a legitimate run: every
+    // tracer-enabled replay emits at least the admission events. Fail
+    // loudly instead of printing an all-zero summary that looks fine.
+    std::cerr << "error: " << path
+              << " contains no events — the producing run likely exited "
+                 "before flushing its trace, or this is not a Sunflow "
+                 "JSONL trace\n";
+    return 1;
   }
   const Time horizon = std::max(kTimeEps, t_max - std::min(t_min, t_max));
 
