@@ -7,12 +7,29 @@
 // one run yields everything a regression dashboard needs.
 #include <chrono>
 #include <iostream>
+#include <sstream>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/policy.h"
 #include "obs/metrics.h"
 #include "sim/engine/scenario.h"
+#include "trace/generator.h"
+
+namespace {
+
+std::vector<int> ParseIntList(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoi(item));
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sunflow;
@@ -23,6 +40,11 @@ int main(int argc, char** argv) {
        .engine_default = "circuit"});
   const auto repeat = session.flags().GetInt(
       "repeat", 3, "timed whole-trace replay repetitions");
+  const std::string sweep_csv = session.flags().GetString(
+      "sweep_coflows", "",
+      "comma-separated coflow counts (e.g. 20,40,80,160): additionally "
+      "replay a regenerated synthetic workload at each count and record "
+      "sweep.N<k>.replans_per_sec in the manifest");
   if (session.done()) return 0;
   const bench::Workload& w = session.workload();
   const std::string& engine_name = session.engine();
@@ -57,5 +79,46 @@ int main(int argc, char** argv) {
       "registry (--metrics / --metrics_csv)");
   table.Print(std::cout);
   session.AddManifestValue("replans_per_sec_best", best_rps);
+
+  // Scaling sweep: regenerate the synthetic workload at each requested
+  // coflow count (same ports / seed / perturbation as the main run) and
+  // record per-N throughput, so a regression harness can check that
+  // replan cost stays sub-quadratic in the active-set size.
+  if (!sweep_csv.empty()) {
+    const auto ports = session.flags().GetInt("ports", 150);
+    const auto seed = session.flags().GetInt("seed", 20161212);
+    const double perturb = session.flags().GetDouble("perturb", 0.05);
+    TextTable sweep_table("replan scaling sweep (" + engine_name + ")");
+    sweep_table.SetHeader({"coflows", "replans", "best replans/sec"});
+    for (const int n : ParseIntList(sweep_csv)) {
+      SyntheticTraceConfig cfg;
+      cfg.num_coflows = n;
+      cfg.num_ports = static_cast<PortId>(ports);
+      cfg.seed = static_cast<std::uint64_t>(seed);
+      Trace trace = GenerateSyntheticTrace(cfg);
+      if (perturb > 0) {
+        trace = PerturbFlowSizes(trace, perturb, MB(1),
+                                 static_cast<std::uint64_t>(seed) + 1);
+      }
+      double best = 0;
+      int replans = 0;
+      for (int r = 0; r < repeat; ++r) {
+        const auto begin = std::chrono::steady_clock::now();
+        const engine::EngineResult result =
+            engine::ScenarioRegistry::Global().Run(engine_name, trace,
+                                                   policy.get(), ec);
+        const double seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - begin)
+                                   .count();
+        best = std::max(best, seconds > 0 ? result.replans / seconds : 0);
+        replans = result.replans;
+      }
+      sweep_table.AddRow({std::to_string(n), std::to_string(replans),
+                          TextTable::Fmt(best, 0)});
+      session.AddManifestValue(
+          "sweep.N" + std::to_string(n) + ".replans_per_sec", best);
+    }
+    sweep_table.Print(std::cout);
+  }
   return session.Finish();
 }

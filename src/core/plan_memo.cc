@@ -1,0 +1,122 @@
+#include "core/plan_memo.h"
+
+#include <bit>
+
+#include "common/assert.h"
+#include "core/sunflow.h"
+
+namespace sunflow {
+
+namespace {
+
+// 128-bit rolling mix built from two decorrelated 64-bit splitmix-style
+// lanes. Each absorbed word perturbs both lanes with different constants,
+// so a single-word difference anywhere in the sequence flips both halves.
+void Absorb(PlanMemo::Key& k, std::uint64_t x) {
+  k.hi ^= x + 0x9e3779b97f4a7c15ULL + (k.hi << 6) + (k.hi >> 2);
+  k.hi *= 0xbf58476d1ce4e5b9ULL;
+  k.hi ^= k.hi >> 27;
+  k.lo ^= x + 0xc2b2ae3d27d4eb4fULL + (k.lo << 5) + (k.lo >> 3);
+  k.lo *= 0x94d049bb133111ebULL;
+  k.lo ^= k.lo >> 31;
+}
+
+void AbsorbTime(PlanMemo::Key& k, Time t) {
+  Absorb(k, std::bit_cast<std::uint64_t>(t));
+}
+
+}  // namespace
+
+PlanMemo::Key PlanMemo::BaseKey(PortId num_ports, const SunflowConfig& config,
+                                const std::map<PortId, PortId>& established,
+                                Time established_at) {
+  Key k{0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL};
+  Absorb(k, static_cast<std::uint64_t>(num_ports));
+  AbsorbTime(k, config.bandwidth);
+  AbsorbTime(k, config.delta);
+  Absorb(k, static_cast<std::uint64_t>(config.order));
+  Absorb(k, config.shuffle_seed);
+  AbsorbTime(k, config.demand_quantum);
+  Absorb(k, established.size());
+  for (const auto& [in, out] : established) {
+    Absorb(k, static_cast<std::uint64_t>(in) << 32 |
+                  static_cast<std::uint32_t>(out));
+  }
+  if (!established.empty()) AbsorbTime(k, established_at);
+  return k;
+}
+
+PlanMemo::Key PlanMemo::Extend(const Key& prefix, const PlanRequest& request) {
+  Key k = prefix;
+  Absorb(k, static_cast<std::uint64_t>(request.coflow));
+  AbsorbTime(k, request.start);
+  Absorb(k, request.demand.size());
+  for (const FlowDemand& f : request.demand) {
+    Absorb(k, static_cast<std::uint64_t>(f.src) << 32 |
+                  static_cast<std::uint32_t>(f.dst));
+    AbsorbTime(k, f.processing);
+  }
+  return k;
+}
+
+std::vector<std::shared_ptr<const PlanMemo::Delta>> PlanMemo::TakePrefix(
+    const std::vector<Key>& keys) {
+  std::vector<std::shared_ptr<const Delta>> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const Key& key : keys) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) break;
+    TouchLocked(it->second);
+    out.push_back(it->second.delta);
+  }
+  return out;
+}
+
+void PlanMemo::Insert(const Key& key, Delta delta) {
+  auto payload = std::make_shared<const Delta>(std::move(delta));
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Same key ⇒ same plan; just refresh recency.
+    TouchLocked(it->second);
+    return;
+  }
+  stored_reservations_ += payload->reservations.size();
+  lru_.push_front(key);
+  map_.emplace(key, Node{std::move(payload), lru_.begin()});
+  EvictLocked();
+}
+
+void PlanMemo::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  stored_reservations_ = 0;
+}
+
+std::size_t PlanMemo::entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void PlanMemo::TouchLocked(Node& node) {
+  lru_.splice(lru_.begin(), lru_, node.lru);
+}
+
+void PlanMemo::EvictLocked() {
+  while (stored_reservations_ > max_reservations_ && lru_.size() > 1) {
+    const Key victim = lru_.back();
+    const auto it = map_.find(victim);
+    SUNFLOW_CHECK(it != map_.end());
+    stored_reservations_ -= it->second.delta->reservations.size();
+    map_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+PlanMemo& GlobalPlanMemo() {
+  static PlanMemo* memo = new PlanMemo();  // leaked: outlives static dtors
+  return *memo;
+}
+
+}  // namespace sunflow

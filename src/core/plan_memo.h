@@ -1,0 +1,116 @@
+// Cross-replan plan memoization.
+//
+// The inter-coflow replay replans the whole active set on every arrival
+// and completion, always from a fresh PRT. Two replans whose
+// priority-ordered request prefixes are identical — same planner config,
+// same established circuits, same (coflow, start, remaining demand)
+// sequence — produce identical reservation prefixes, because Algorithm 1
+// is deterministic and each request sees only the PRT state left by the
+// requests before it. The memo exploits that: every ScheduleAll keyed a
+// rolling hash over its request sequence, and each per-request *delta*
+// (the reservations, flow finishes, completion time and reservation count
+// that request contributed) is stored under the hash of the prefix ending
+// at it. A later replan with an equal prefix splices the stored deltas
+// verbatim — byte-identical to re-planning, since the stored doubles are
+// the planner's own output — and re-runs the planner only for the suffix.
+//
+// Invalidation is purely structural: an arrival, completion, priority
+// reorder, changed remaining demand, different replan instant or changed
+// established-circuit set alters the rolling hash at the point of
+// divergence, so everything from there on misses. Entries are evicted LRU
+// by total stored reservations. The memo is process-global and
+// mutex-guarded; concurrent replays (e.g. the parallel sweep engine)
+// share it safely because a hit and a miss produce the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "core/reservation.h"
+
+namespace sunflow {
+
+struct PlanRequest;
+struct SunflowConfig;
+
+class PlanMemo {
+ public:
+  /// 128-bit rolling key: wide enough that accidental collisions are out
+  /// of practical reach (a collision would splice a wrong plan).
+  struct Key {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    bool operator==(const Key&) const = default;
+  };
+
+  /// Everything one request contributed to its ScheduleAll call, in the
+  /// order it was produced.
+  struct Delta {
+    CoflowId coflow = -1;
+    Time completion_time = 0;  ///< finish - request.start
+    int reservation_count = 0;
+    std::vector<CircuitReservation> reservations;
+    std::vector<std::pair<FlowKey, Time>> flow_finish;
+  };
+
+  /// Hash of everything that shapes a plan besides the requests: port
+  /// count, planner config and the established-circuit carry-over.
+  static Key BaseKey(PortId num_ports, const SunflowConfig& config,
+                     const std::map<PortId, PortId>& established,
+                     Time established_at);
+
+  /// Extends a prefix key by one request (coflow, start, demand bytes).
+  static Key Extend(const Key& prefix, const PlanRequest& request);
+
+  /// Returns the stored deltas for the longest memoized prefix of `keys`
+  /// (keys[i] = hash of the prefix ending at request i); the result holds
+  /// deltas for requests 0 .. result.size()-1. Shared ownership: the
+  /// payloads stay valid (and immutable) even if the entries are evicted
+  /// concurrently.
+  std::vector<std::shared_ptr<const Delta>> TakePrefix(
+      const std::vector<Key>& keys);
+
+  /// Stores the delta for the prefix ending at `key`. Overwrites an
+  /// existing entry (same key ⇒ same content by construction).
+  void Insert(const Key& key, Delta delta);
+
+  /// Drops every entry (tests; also frees memory deterministically).
+  void Clear();
+
+  std::size_t entries() const;
+
+ private:
+  struct KeyHasher {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Node {
+    std::shared_ptr<const Delta> delta;
+    std::list<Key>::iterator lru;
+  };
+
+  void TouchLocked(Node& node);
+  void EvictLocked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Node, KeyHasher> map_;
+  std::list<Key> lru_;  ///< front = most recently used
+  std::size_t stored_reservations_ = 0;
+  /// Eviction cap on the total reservations held (~48 bytes each, so the
+  /// default bounds the memo near 100 MB even on pathological workloads).
+  std::size_t max_reservations_ = std::size_t{1} << 21;
+};
+
+/// The process-global memo used by SunflowPlanner::ScheduleAll when
+/// SunflowConfig::plan_reuse is on.
+PlanMemo& GlobalPlanMemo();
+
+}  // namespace sunflow

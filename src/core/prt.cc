@@ -23,51 +23,118 @@ PortReservationTable::PortReservationTable(PortId num_ports)
   SUNFLOW_CHECK(num_ports > 0);
 }
 
-bool PortReservationTable::FreeAt(const std::set<Slot>& slots, Time t) {
-  // Find the last slot with start <= t; the port is busy iff it covers t.
-  auto it = slots.upper_bound(Slot{t, 0, 0});
-  if (it == slots.begin()) return true;
-  --it;
-  return it->end <= t + kTimeEps;
+std::size_t PortReservationTable::PortTimeline::LowerBound(Time t) const {
+  const std::size_t n = slots.size();
+  // The cursor is a valid lower bound iff everything before it is fully in
+  // the past at t as well. Ends are strictly increasing (slots never
+  // overlap and each spans more than ε), so checking the slot just before
+  // the cursor suffices.
+  if (cursor > n || (cursor > 0 && slots[cursor - 1].end > t + kTimeEps)) {
+    // Backward (or stale) probe: binary search and re-seat the cursor so a
+    // subsequent forward scan from here is cheap again.
+    cursor = static_cast<std::size_t>(
+        std::partition_point(slots.begin(), slots.end(),
+                             [t](const Slot& s) {
+                               return s.end <= t + kTimeEps;
+                             }) -
+        slots.begin());
+    return cursor;
+  }
+  while (cursor < n && slots[cursor].end <= t + kTimeEps) ++cursor;
+  return cursor;
 }
 
-Time PortReservationTable::NextStartAfter(const std::set<Slot>& slots,
-                                          Time t) {
-  auto it = slots.upper_bound(Slot{t, 0, 0});
-  if (it == slots.end()) return kTimeInf;
-  return it->start;
+bool PortReservationTable::PortTimeline::FreeAt(Time t) const {
+  // The covering slot, if any, is the first one whose end is still ahead
+  // of t; the port is busy iff that slot has already started.
+  const std::size_t i = LowerBound(t);
+  return i == slots.size() || slots[i].start > t;
 }
 
-void PortReservationTable::CheckNoOverlap(const std::set<Slot>& slots,
-                                          const Slot& s) {
-  auto it = slots.upper_bound(s);
-  if (it != slots.end()) {
-    SUNFLOW_CHECK_MSG(s.end <= it->start + kTimeEps,
+Time PortReservationTable::PortTimeline::BusyUntil(Time t) const {
+  const std::size_t i = LowerBound(t);
+  if (i == slots.size() || slots[i].start > t) return t;
+  return slots[i].end;
+}
+
+PortReservationTable::NextReservation
+PortReservationTable::PortTimeline::NextStartAfter(Time t) const {
+  std::size_t i = LowerBound(t);
+  // slots[i] may cover t (start <= t); the one after it starts past t
+  // because its start is >= this slot's end - ε > t.
+  if (i < slots.size() && slots[i].start <= t) ++i;
+  if (i == slots.size()) return {};
+  return {slots[i].start, slots[i].end};
+}
+
+void PortReservationTable::PortTimeline::CheckFits(const Slot& s) const {
+  const auto pos = std::upper_bound(
+      slots.begin(), slots.end(), s,
+      [](const Slot& a, const Slot& b) { return a.start < b.start; });
+  if (pos != slots.end()) {
+    SUNFLOW_CHECK_MSG(s.end <= pos->start + kTimeEps,
                       "reservation overlaps successor on port");
   }
-  if (it != slots.begin()) {
-    --it;
-    SUNFLOW_CHECK_MSG(it->end <= s.start + kTimeEps,
+  if (pos != slots.begin()) {
+    SUNFLOW_CHECK_MSG(std::prev(pos)->end <= s.start + kTimeEps,
                       "reservation overlaps predecessor on port");
   }
 }
 
+void PortReservationTable::PortTimeline::Insert(const Slot& s) {
+  // Append fast path: the planner emits reservations in non-decreasing
+  // start order per port, so most inserts land at the back.
+  auto pos = slots.end();
+  if (!slots.empty() && s.start < slots.back().start) {
+    pos = std::upper_bound(slots.begin(), slots.end(), s,
+                           [](const Slot& a, const Slot& b) {
+                             return a.start < b.start;
+                           });
+  }
+  const auto idx = static_cast<std::size_t>(pos - slots.begin());
+  if (idx < cursor) ++cursor;  // keep the cursor on the same slot
+  slots.insert(pos, s);
+}
+
 bool PortReservationTable::InputFreeAt(PortId i, Time t) const {
   SUNFLOW_CHECK(i >= 0 && i < num_ports_);
-  return FreeAt(in_slots_[static_cast<std::size_t>(i)], t);
+  return in_slots_[static_cast<std::size_t>(i)].FreeAt(t);
 }
 
 bool PortReservationTable::OutputFreeAt(PortId j, Time t) const {
   SUNFLOW_CHECK(j >= 0 && j < num_ports_);
-  return FreeAt(out_slots_[static_cast<std::size_t>(j)], t);
+  return out_slots_[static_cast<std::size_t>(j)].FreeAt(t);
+}
+
+Time PortReservationTable::InputBusyUntil(PortId i, Time t) const {
+  SUNFLOW_CHECK(i >= 0 && i < num_ports_);
+  return in_slots_[static_cast<std::size_t>(i)].BusyUntil(t);
+}
+
+Time PortReservationTable::OutputBusyUntil(PortId j, Time t) const {
+  SUNFLOW_CHECK(j >= 0 && j < num_ports_);
+  return out_slots_[static_cast<std::size_t>(j)].BusyUntil(t);
 }
 
 Time PortReservationTable::NextReservationStartAfter(PortId in, PortId out,
                                                      Time t) const {
+  return NextReservationAfter(in, out, t).start;
+}
+
+PortReservationTable::NextReservation
+PortReservationTable::NextReservationAfter(PortId in, PortId out,
+                                           Time t) const {
   SUNFLOW_CHECK(in >= 0 && in < num_ports_);
   SUNFLOW_CHECK(out >= 0 && out < num_ports_);
-  return std::min(NextStartAfter(in_slots_[static_cast<std::size_t>(in)], t),
-                  NextStartAfter(out_slots_[static_cast<std::size_t>(out)], t));
+  const NextReservation a =
+      in_slots_[static_cast<std::size_t>(in)].NextStartAfter(t);
+  const NextReservation b =
+      out_slots_[static_cast<std::size_t>(out)].NextStartAfter(t);
+  if (a.start < b.start) return a;
+  if (b.start < a.start) return b;
+  // Both ports have a slot starting at the same instant: the constraint at
+  // that start only relaxes when the longer of the two releases.
+  return {a.start, std::max(a.release, b.release)};
 }
 
 void PortReservationTable::Reserve(const CircuitReservation& r) {
@@ -79,11 +146,19 @@ void PortReservationTable::Reserve(const CircuitReservation& r) {
   SUNFLOW_CHECK_MSG(r.setup >= 0 && r.setup <= r.length() + kTimeEps,
                     "bad setup in " << r.DebugString());
   const Slot s{r.start, r.end, all_.size()};
-  CheckNoOverlap(in_slots_[static_cast<std::size_t>(r.in)], s);
-  CheckNoOverlap(out_slots_[static_cast<std::size_t>(r.out)], s);
-  in_slots_[static_cast<std::size_t>(r.in)].insert(s);
-  out_slots_[static_cast<std::size_t>(r.out)].insert(s);
-  release_times_.insert(r.end);
+  PortTimeline& in_tl = in_slots_[static_cast<std::size_t>(r.in)];
+  PortTimeline& out_tl = out_slots_[static_cast<std::size_t>(r.out)];
+  in_tl.CheckFits(s);
+  out_tl.CheckFits(s);
+  in_tl.Insert(s);
+  out_tl.Insert(s);
+  if (release_times_.empty() || r.end >= release_times_.back()) {
+    release_times_.push_back(r.end);
+  } else {
+    release_times_.insert(
+        std::upper_bound(release_times_.begin(), release_times_.end(), r.end),
+        r.end);
+  }
   all_.push_back(r);
   // Instrument addresses are stable, so the lookup happens exactly once
   // per thread (thread_local: shards are per thread, obs/metrics.h).
@@ -93,34 +168,51 @@ void PortReservationTable::Reserve(const CircuitReservation& r) {
 }
 
 Time PortReservationTable::NextReleaseAfter(Time t) const {
-  auto it = release_times_.upper_bound(t + kTimeEps);
+  const auto it = std::upper_bound(release_times_.begin(),
+                                   release_times_.end(), t + kTimeEps);
   if (it == release_times_.end()) return kTimeInf;
   return *it;
+}
+
+Time PortReservationTable::FirstReleaseAtOrAfter(Time t) const {
+  const auto it =
+      std::lower_bound(release_times_.begin(), release_times_.end(), t);
+  if (it == release_times_.end()) return kTimeInf;
+  return *it;
+}
+
+Time PortReservationTable::LastReleaseBefore(Time t) const {
+  const auto it =
+      std::lower_bound(release_times_.begin(), release_times_.end(), t);
+  if (it == release_times_.begin()) return -kTimeInf;
+  return *std::prev(it);
 }
 
 std::vector<CircuitReservation> PortReservationTable::InputPortTimeline(
     PortId i) const {
   SUNFLOW_CHECK(i >= 0 && i < num_ports_);
+  const PortTimeline& tl = in_slots_[static_cast<std::size_t>(i)];
   std::vector<CircuitReservation> out;
-  for (const Slot& s : in_slots_[static_cast<std::size_t>(i)])
-    out.push_back(all_[s.index]);
+  out.reserve(tl.slots.size());
+  for (const Slot& s : tl.slots) out.push_back(all_[s.index]);
   return out;
 }
 
 std::vector<CircuitReservation> PortReservationTable::OutputPortTimeline(
     PortId j) const {
   SUNFLOW_CHECK(j >= 0 && j < num_ports_);
+  const PortTimeline& tl = out_slots_[static_cast<std::size_t>(j)];
   std::vector<CircuitReservation> out;
-  for (const Slot& s : out_slots_[static_cast<std::size_t>(j)])
-    out.push_back(all_[s.index]);
+  out.reserve(tl.slots.size());
+  for (const Slot& s : tl.slots) out.push_back(all_[s.index]);
   return out;
 }
 
 void PortReservationTable::CheckInvariants() const {
-  auto check_side = [&](const std::vector<std::set<Slot>>& sides) {
-    for (const auto& slots : sides) {
+  auto check_side = [&](const std::vector<PortTimeline>& sides) {
+    for (const PortTimeline& tl : sides) {
       Time prev_end = -kTimeInf;
-      for (const Slot& s : slots) {
+      for (const Slot& s : tl.slots) {
         SUNFLOW_CHECK_MSG(s.start >= prev_end - kTimeEps,
                           "overlapping reservations on a port");
         SUNFLOW_CHECK(s.end > s.start);
@@ -130,6 +222,8 @@ void PortReservationTable::CheckInvariants() const {
   };
   check_side(in_slots_);
   check_side(out_slots_);
+  SUNFLOW_CHECK(std::is_sorted(release_times_.begin(), release_times_.end()));
+  SUNFLOW_CHECK(release_times_.size() == all_.size());
 }
 
 }  // namespace sunflow

@@ -5,9 +5,17 @@
 // reservations that always respect the port constraint (an optical port
 // carries at most one circuit at a time), so existing reservations are
 // never preempted — the data structure *is* the non-preemption guarantee.
+//
+// Storage is a flat sorted vector per port (slots are non-overlapping, so
+// sorting by start also sorts the release ends) plus a per-port probe
+// cursor. The planner probes forward in time almost always, so the cursor
+// makes FreeAt / NextStartAfter / BusyUntil O(1) amortized on that access
+// pattern; a probe that jumps backwards (ImportReservations, executors,
+// a new coflow restarting at its arrival time) falls back to binary search
+// and re-seats the cursor there. Release times live in one flat sorted
+// vector shared by all ports, replacing the former std::multiset.
 #pragma once
 
-#include <set>
 #include <vector>
 
 #include "common/units.h"
@@ -26,12 +34,33 @@ class PortReservationTable {
   bool InputFreeAt(PortId i, Time t) const;
   bool OutputFreeAt(PortId j, Time t) const;
 
+  /// End of the reservation covering t on the port, or t itself when the
+  /// port is free at t (same tolerance as InputFreeAt/OutputFreeAt). The
+  /// planner's wakeup index buckets a blocked flow under this instant:
+  /// retrying any earlier provably fails because the covering reservation
+  /// is never preempted.
+  Time InputBusyUntil(PortId i, Time t) const;
+  Time OutputBusyUntil(PortId j, Time t) const;
+
   /// Start time of the earliest reservation beginning strictly after t on
   /// the given port; kTimeInf if none. This is the t_m of Algorithm 1
   /// line 16 ("earliest next-reserv-time"), needed only at the inter-Coflow
   /// level: a lower-priority coflow must release the port before a
   /// higher-priority reservation begins.
   Time NextReservationStartAfter(PortId in, PortId out, Time t) const;
+
+  /// The earliest reservation beginning strictly after t on either port,
+  /// as (start, release): `start` equals NextReservationStartAfter(in, out,
+  /// t) and `release` is the latest end among the slots (on these two
+  /// ports) that begin exactly at that start. When the gap [t, start) is
+  /// too short for a circuit, `release` is the first instant the blocking
+  /// constraint can change — the planner's wakeup for the gap-limited case.
+  /// Returns (kTimeInf, kTimeInf) when neither port has a later start.
+  struct NextReservation {
+    Time start = kTimeInf;
+    Time release = kTimeInf;
+  };
+  NextReservation NextReservationAfter(PortId in, PortId out, Time t) const;
 
   /// Records a circuit [in, out] during [start, end) with the given setup
   /// prefix. Checks the port constraint on both ports.
@@ -40,6 +69,14 @@ class PortReservationTable {
   /// Earliest reservation end strictly after t across all ports (the next
   /// "circuit release time", Algorithm 1 line 10); kTimeInf if none.
   Time NextReleaseAfter(Time t) const;
+
+  /// Earliest reservation end >= t (no epsilon), kTimeInf if none; and the
+  /// latest reservation end < t (no epsilon), -kTimeInf if none. Together
+  /// they let the planner decide whether a wakeup instant can be jumped to
+  /// directly or sits inside a sub-epsilon cluster of release times that
+  /// must be walked through NextReleaseAfter step by step.
+  Time FirstReleaseAtOrAfter(Time t) const;
+  Time LastReleaseBefore(Time t) const;
 
   /// All reservations in insertion order.
   const std::vector<CircuitReservation>& reservations() const {
@@ -58,18 +95,37 @@ class PortReservationTable {
     Time start;
     Time end;
     std::size_t index;  ///< into all_
-
-    bool operator<(const Slot& other) const { return start < other.start; }
   };
 
-  static bool FreeAt(const std::set<Slot>& slots, Time t);
-  static Time NextStartAfter(const std::set<Slot>& slots, Time t);
-  static void CheckNoOverlap(const std::set<Slot>& slots, const Slot& s);
+  // One port's reservations, sorted by start (equivalently by end: slots
+  // on a port never overlap). `cursor` caches the last probe position —
+  // the index of the first slot whose end may still matter (end > t + ε
+  // for the last probed t). It is advanced linearly on forward probes and
+  // re-seated by binary search when a probe jumps backwards, so it is
+  // always exact, never a heuristic.
+  struct PortTimeline {
+    std::vector<Slot> slots;
+    mutable std::size_t cursor = 0;
+
+    /// Index of the first slot with end > t + ε (every earlier slot is
+    /// fully in the past at t). O(1) amortized for non-decreasing t.
+    std::size_t LowerBound(Time t) const;
+    bool FreeAt(Time t) const;
+    Time BusyUntil(Time t) const;
+    /// (start, end) of the first slot starting strictly after t, or
+    /// (kTimeInf, kTimeInf).
+    NextReservation NextStartAfter(Time t) const;
+    /// Throws CheckFailure if s overlaps an existing slot. Reserve calls
+    /// this on both ports before inserting on either, so a rejected
+    /// reservation never half-applies.
+    void CheckFits(const Slot& s) const;
+    void Insert(const Slot& s);  ///< keeps sorted order; caller validated
+  };
 
   PortId num_ports_;
-  std::vector<std::set<Slot>> in_slots_;
-  std::vector<std::set<Slot>> out_slots_;
-  std::multiset<Time> release_times_;
+  std::vector<PortTimeline> in_slots_;
+  std::vector<PortTimeline> out_slots_;
+  std::vector<Time> release_times_;  ///< sorted ascending, duplicates kept
   std::vector<CircuitReservation> all_;
 };
 

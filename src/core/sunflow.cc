@@ -1,14 +1,52 @@
 #include "core/sunflow.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
 
 #include "common/assert.h"
 #include "common/rng.h"
+#include "core/plan_memo.h"
+#include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace_sink.h"
 
 namespace sunflow {
+
+namespace {
+
+// 64-bit mix for the Ordered() cache key (splitmix64 finalizer). Not
+// cryptographic; collisions only matter if a caller mutates a request's
+// demand in place *and* the old and new contents collide, which the
+// documented invalidation contract already rules out in practice.
+std::uint64_t Mix64(std::uint64_t h, std::uint64_t x) {
+  h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+std::uint64_t OrderedCacheKey(const SunflowConfig& config,
+                              const PlanRequest& request) {
+  std::uint64_t h = 0x517cc1b727220a95ULL;
+  h = Mix64(h, static_cast<std::uint64_t>(config.order));
+  h = Mix64(h, config.shuffle_seed);
+  h = Mix64(h, std::bit_cast<std::uint64_t>(config.demand_quantum));
+  h = Mix64(h, static_cast<std::uint64_t>(request.coflow));
+  h = Mix64(h, request.demand.size());
+  for (const FlowDemand& f : request.demand) {
+    h = Mix64(h, static_cast<std::uint64_t>(f.src) << 32 |
+                     static_cast<std::uint32_t>(f.dst));
+    h = Mix64(h, std::bit_cast<std::uint64_t>(f.processing));
+  }
+  return h == 0 ? 1 : h;  // 0 marks "no cache"
+}
+
+}  // namespace
 
 const char* ToString(ReservationOrder order) {
   switch (order) {
@@ -79,7 +117,10 @@ void SunflowPlanner::ImportReservations(
   }
 }
 
-std::vector<FlowDemand> SunflowPlanner::Ordered(const PlanRequest& request) {
+const std::vector<FlowDemand>& SunflowPlanner::Ordered(
+    const PlanRequest& request) const {
+  const std::uint64_t key = OrderedCacheKey(config_, request);
+  if (request.ordered_cache_key == key) return request.ordered_cache;
   std::vector<FlowDemand> p = request.demand;
   if (config_.demand_quantum > 0) {
     for (FlowDemand& f : p) {
@@ -114,11 +155,168 @@ std::vector<FlowDemand> SunflowPlanner::Ordered(const PlanRequest& request) {
                        });
       break;
   }
-  return p;
+  request.ordered_cache = std::move(p);
+  request.ordered_cache_key = key;
+  return request.ordered_cache;
+}
+
+Time SunflowPlanner::NextWakeInstant(Time t, Time wake,
+                                     CoflowId coflow) const {
+  // `wake` is the earliest pending wakeup: always the end of a recorded
+  // reservation, strictly later than t + ε. The legacy loop visited every
+  // release instant after t; instants before wake - ε are provably no-ops
+  // (reservations are never removed, so a blocked flow only gets more
+  // blocked), which lets the walk jump — but only onto an instant the
+  // legacy chain itself would have visited, because a release within ε
+  // below a chain instant is absorbed into it by the tolerant comparison.
+  const Time a = prt_.FirstReleaseAtOrAfter(wake - kTimeEps);
+  SUNFLOW_CHECK_MSG(a < kTimeInf,
+                    "Sunflow stuck: pending demand but no future release "
+                    "(coflow "
+                        << coflow << ")");
+  const Time b = prt_.LastReleaseBefore(a);
+  if (b <= t + kTimeEps) {
+    // Nothing releases strictly between here and the target, so the next
+    // chain instant is simply the first release past t + ε; that is `a`
+    // itself unless the target sits within ε of t (then the chain steps
+    // over it and the tolerant retry at the next instant picks it up).
+    return a > t + kTimeEps ? a : prt_.NextReleaseAfter(t);
+  }
+  if (a - b > kTimeEps) return a;  // `a` opens its own chain instant
+  // A sub-ε cluster of release times straddles the target: replay the
+  // legacy chain step by step so the visited instant matches it exactly.
+  Time v = t;
+  while (v < wake - kTimeEps) {
+    const Time next = prt_.NextReleaseAfter(v);
+    SUNFLOW_CHECK(next < kTimeInf && next > v);
+    v = next;
+  }
+  return v;
 }
 
 Time SunflowPlanner::ScheduleOne(const PlanRequest& request,
                                  SunflowSchedule& out) {
+  SUNFLOW_PROFILE_SCOPE("core.plan");
+  // Established circuits declared after the request start could zero a
+  // setup at a mid-plan instant; the wakeup index assumes setup never
+  // shrinks as t advances (true for replay carry-over, where circuits are
+  // observed up exactly at the replan instant), so this corner runs the
+  // reference loop instead.
+  if (!established_.empty() && established_at_ > request.start + kTimeEps) {
+    return ScheduleOneRescan(request, out);
+  }
+  const Time delta = config_.delta;
+  const std::vector<FlowDemand>& ordered = Ordered(request);
+
+  Time finish = request.start;
+  Time t = request.start;
+  int reservations_made = 0;
+
+  // Remaining demand per ordered index; 0 once the flow is done.
+  std::vector<Time> remaining(ordered.size(), 0);
+
+  // MakeReservation (Algorithm 1 lines 13-23) for one flow at the current
+  // instant t. Returns the flow's next wakeup: kTimeInf when its demand is
+  // finished, its own reservation end when the reservation was truncated,
+  // and otherwise the earliest future instant at which the blocking
+  // constraint can change — the busy port's release, or the release of the
+  // reservation whose start capped the gap. Every wakeup is the end of a
+  // recorded reservation and lies strictly beyond t + ε, so the walk
+  // always makes progress.
+  auto try_flow = [&](std::size_t idx) -> Time {
+    const FlowDemand& f = ordered[idx];
+    const Time in_busy = prt_.InputBusyUntil(f.src, t);
+    const Time out_busy = prt_.OutputBusyUntil(f.dst, t);
+    if (in_busy > t || out_busy > t) return std::max(in_busy, out_busy);
+    // Setup is free when this pair is already an established circuit and
+    // the reservation begins at the instant the circuit was observed up.
+    Time setup = delta;
+    if (TimeEq(t, established_at_)) {
+      auto it = established_.find(f.src);
+      if (it != established_.end() && it->second == f.dst) setup = 0;
+    }
+    const auto [tm, tm_release] = prt_.NextReservationAfter(f.src, f.dst, t);
+    const Time lm = tm - t;  // max length before blocking a prior reservation
+    const Time ld = setup + remaining[idx];  // desired length
+    // A reservation of length <= setup would transmit nothing: skip.
+    if (lm <= setup + kTimeEps) return tm_release;
+    const Time l = std::min(lm, ld);
+    const CircuitReservation reservation{f.src, f.dst, t, t + l, setup,
+                                         request.coflow};
+    prt_.Reserve(reservation);
+    ++reservations_made;
+    if (callback_) callback_(reservation);
+    obs::Emit(sink_, {.type = obs::EventType::kCircuitSetup,
+                      .t = reservation.start,
+                      .dur = reservation.length(),
+                      .coflow = request.coflow,
+                      .in = f.src,
+                      .out = f.dst,
+                      .value = setup});
+    obs::Emit(sink_, {.type = obs::EventType::kCircuitTeardown,
+                      .t = reservation.end,
+                      .coflow = request.coflow,
+                      .in = f.src,
+                      .out = f.dst});
+    const Time rest = std::max(0.0, ld - l);
+    if (rest <= kTimeEps) {
+      remaining[idx] = 0;
+      const Time flow_finish = t + l;
+      out.flow_finish[{request.coflow, f.src, f.dst}] = flow_finish;
+      finish = std::max(finish, flow_finish);
+      obs::Emit(sink_, {.type = obs::EventType::kFlowFinished,
+                        .t = flow_finish,
+                        .coflow = request.coflow,
+                        .in = f.src,
+                        .out = f.dst});
+      return kTimeInf;
+    }
+    remaining[idx] = rest;
+    return reservation.end;
+  };
+
+  // First pass at the request start, in Ordered() order, dropping
+  // zero-demand entries (Equation 3: t_ij = 0 when p_ij = 0). Flows that
+  // cannot finish here enter the wakeup queue.
+  using Wakeup = std::pair<Time, std::size_t>;
+  std::priority_queue<Wakeup, std::vector<Wakeup>, std::greater<>> wakeups;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    if (ordered[i].processing <= kTimeEps) continue;
+    remaining[i] = ordered[i].processing;
+    const Time w = try_flow(i);
+    if (w < kTimeInf) wakeups.push({w, i});
+  }
+
+  // Event-indexed walk: advance to the chain instant covering the
+  // earliest pending wakeup and retry only the flows woken there. The
+  // legacy loop retried the whole pending list in Ordered() order at
+  // every release instant; sorting the woken indices replays that order
+  // within the subset, and the flows left sleeping are exactly the ones
+  // the rescan would have retried and failed.
+  std::vector<std::size_t> woken;
+  while (!wakeups.empty()) {
+    const Time next = NextWakeInstant(t, wakeups.top().first, request.coflow);
+    SUNFLOW_CHECK(next > t);
+    t = next;
+    woken.clear();
+    while (!wakeups.empty() && wakeups.top().first <= t + kTimeEps) {
+      woken.push_back(wakeups.top().second);
+      wakeups.pop();
+    }
+    std::sort(woken.begin(), woken.end());
+    for (std::size_t idx : woken) {
+      const Time w = try_flow(idx);
+      if (w < kTimeInf) wakeups.push({w, idx});
+    }
+  }
+
+  out.completion_time[request.coflow] = finish - request.start;
+  out.reservation_count[request.coflow] += reservations_made;
+  return finish;
+}
+
+Time SunflowPlanner::ScheduleOneRescan(const PlanRequest& request,
+                                       SunflowSchedule& out) {
   SUNFLOW_PROFILE_SCOPE("core.plan");
   const Time delta = config_.delta;
   std::vector<FlowDemand> pending = Ordered(request);
@@ -202,8 +400,81 @@ Time SunflowPlanner::ScheduleOne(const PlanRequest& request,
 
 SunflowSchedule SunflowPlanner::ScheduleAll(
     const std::vector<PlanRequest>& requests) {
+  std::vector<const PlanRequest*> ptrs;
+  ptrs.reserve(requests.size());
+  for (const PlanRequest& req : requests) ptrs.push_back(&req);
+  return ScheduleAll(ptrs);
+}
+
+SunflowSchedule SunflowPlanner::ScheduleAll(
+    const std::vector<const PlanRequest*>& requests) {
   SunflowSchedule out;
-  for (const PlanRequest& req : requests) ScheduleOne(req, out);
+  // The memo stores per-request deltas against the PRT state left by the
+  // requests before them, so reuse needs a fresh PRT; a sink or callback
+  // would miss its emissions on a spliced prefix, so their presence turns
+  // the memo off (output bytes are identical either way).
+  const bool use_memo = config_.plan_reuse && sink_ == nullptr &&
+                        !callback_ && prt_.reservations().empty() &&
+                        !requests.empty();
+  if (!use_memo) {
+    for (const PlanRequest* req : requests) ScheduleOne(*req, out);
+    out.reservations = prt_.reservations();
+    return out;
+  }
+
+  static thread_local obs::Counter& cache_hits =
+      obs::GlobalMetrics().GetCounter("plan.cache_hits");
+  static thread_local obs::Counter& cache_misses =
+      obs::GlobalMetrics().GetCounter("plan.cache_misses");
+
+  PlanMemo& memo = GlobalPlanMemo();
+  std::vector<PlanMemo::Key> keys;
+  std::vector<std::shared_ptr<const PlanMemo::Delta>> prefix;
+  {
+    SUNFLOW_PROFILE_SCOPE("core.plan.reuse");
+    PlanMemo::Key key = PlanMemo::BaseKey(prt_.num_ports(), config_,
+                                          established_, established_at_);
+    keys.reserve(requests.size());
+    for (const PlanRequest* req : requests) {
+      key = PlanMemo::Extend(key, *req);
+      keys.push_back(key);
+    }
+    prefix = memo.TakePrefix(keys);
+    // Splice the memoized prefix verbatim: the stored doubles are the
+    // planner's own prior output, so the PRT ends up byte-identical to
+    // re-planning these requests.
+    for (const auto& d : prefix) {
+      for (const CircuitReservation& r : d->reservations) prt_.Reserve(r);
+      for (const auto& [fk, t_fin] : d->flow_finish)
+        out.flow_finish[fk] = t_fin;
+      out.completion_time[d->coflow] = d->completion_time;
+      out.reservation_count[d->coflow] += d->reservation_count;
+    }
+  }
+  cache_hits.Increment(prefix.size());
+  cache_misses.Increment(requests.size() - prefix.size());
+
+  // Re-plan only the suffix, feeding each fresh delta back into the memo.
+  for (std::size_t i = prefix.size(); i < requests.size(); ++i) {
+    const PlanRequest& req = *requests[i];
+    const std::size_t first_new = prt_.reservations().size();
+    const Time finish = ScheduleOne(req, out);
+    PlanMemo::Delta d;
+    d.coflow = req.coflow;
+    d.completion_time = finish - req.start;
+    d.reservation_count =
+        static_cast<int>(prt_.reservations().size() - first_new);
+    d.reservations.assign(prt_.reservations().begin() +
+                              static_cast<std::ptrdiff_t>(first_new),
+                          prt_.reservations().end());
+    for (auto it = out.flow_finish.lower_bound(
+             FlowKey{req.coflow, std::numeric_limits<PortId>::min(),
+                     std::numeric_limits<PortId>::min()});
+         it != out.flow_finish.end() && it->first.coflow == req.coflow; ++it) {
+      d.flow_finish.emplace_back(it->first, it->second);
+    }
+    memo.Insert(keys[i], std::move(d));
+  }
   out.reservations = prt_.reservations();
   return out;
 }

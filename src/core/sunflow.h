@@ -50,6 +50,13 @@ struct SunflowConfig {
   /// specific coflow's CCT is not monotone — greedy scheduling anomalies
   /// can shift it either way.
   Time demand_quantum = 0;
+  /// Reuse memoized plans across identical replans (core/plan_memo.h):
+  /// when a ScheduleAll call's priority-ordered request prefix hashes
+  /// equal to one already planned under the same config and established
+  /// circuits, the stored reservations are spliced verbatim instead of
+  /// re-derived. Output is byte-identical either way; disable to force
+  /// every replan through the planner (e.g. when benchmarking it).
+  bool plan_reuse = true;
 };
 
 /// A circuit (in → out) that is already established (set up and
@@ -91,6 +98,15 @@ struct PlanRequest {
   /// Builds a request from a whole coflow (all bytes remaining).
   static PlanRequest FromCoflow(const Coflow& coflow, Bandwidth bandwidth,
                                 std::optional<Time> start = std::nullopt);
+
+  // Memoized Ordered() view (quantized + permuted demand), filled lazily
+  // by the planner and keyed by a hash of (config, coflow, demand), so a
+  // coflow replanned with unchanged demand skips the per-replan copy and
+  // sort. The key covers the demand bytes, so mutating `demand` in place
+  // invalidates the cache automatically. The cache is per-object shared
+  // state: do not hand one PlanRequest to concurrent planners.
+  mutable std::vector<FlowDemand> ordered_cache;
+  mutable std::uint64_t ordered_cache_key = 0;
 };
 
 class SunflowPlanner {
@@ -102,10 +118,24 @@ class SunflowPlanner {
   /// absolute finish time of the request (kTimeInf never — always finite).
   Time ScheduleOne(const PlanRequest& request, SunflowSchedule& out);
 
+  /// Reference implementation of ScheduleOne: the paper-literal loop that
+  /// rescans every pending flow at every release instant. ScheduleOne
+  /// produces byte-identical output via an event-indexed wakeup queue
+  /// (see docs/engine.md, "Planner complexity"); this path is retained as
+  /// the oracle the differential tests compare against, and as the
+  /// fallback for established circuits declared after the request start
+  /// (where a mid-plan instant could zero a setup).
+  Time ScheduleOneRescan(const PlanRequest& request, SunflowSchedule& out);
+
   /// Algorithm 1, InterCoflow: schedules requests in the given order
   /// (callers sort by priority policy first). Earlier requests are planned
   /// first and therefore never blocked by later ones.
   SunflowSchedule ScheduleAll(const std::vector<PlanRequest>& requests);
+
+  /// As above, via pointers: lets a caller keep long-lived PlanRequest
+  /// objects (with warm Ordered() caches) and hand them to a fresh planner
+  /// on every replan without copying demand vectors.
+  SunflowSchedule ScheduleAll(const std::vector<const PlanRequest*>& requests);
 
   /// Declares circuits already up at plan start (replay carry-over).
   void SetEstablishedCircuits(EstablishedCircuits circuits, Time at);
@@ -137,7 +167,10 @@ class SunflowPlanner {
   const SunflowConfig& config() const { return config_; }
 
  private:
-  std::vector<FlowDemand> Ordered(const PlanRequest& request);
+  const std::vector<FlowDemand>& Ordered(const PlanRequest& request) const;
+  /// Maps the earliest pending wakeup onto the exact instant the legacy
+  /// release-chain walk would visit next (see docs/engine.md).
+  Time NextWakeInstant(Time t, Time wake, CoflowId coflow) const;
 
   PortReservationTable prt_;
   SunflowConfig config_;

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -110,14 +111,66 @@ void DrainEqualShare(std::vector<std::pair<SimCoflow*, Bytes*>>& flows,
   }
 }
 
+// Long-lived PlanRequest objects, one per coflow, reused across replans.
+// A coflow whose remaining demand is unchanged since the previous replan
+// keeps its request object — and with it the memoized Ordered() view, so
+// the planner skips the per-replan demand copy and sort. Only `start` is
+// refreshed; a demand change swaps the vector in (which invalidates the
+// Ordered() cache through its content hash). Entries for departed coflows
+// are dropped lazily once the map outgrows the active set.
+class PlanRequestCache {
+ public:
+  const PlanRequest* Refresh(const SimCoflow& sc, Bandwidth bandwidth,
+                             Time t) {
+    scratch_.clear();
+    for (const auto& [pair, bytes] : sc.remaining) {
+      if (bytes > kBytesEps)
+        scratch_.push_back({pair.first, pair.second, bytes / bandwidth});
+    }
+    PlanRequest& req = by_coflow_[sc.id];
+    if (req.coflow != sc.id || !SameDemand(req.demand, scratch_)) {
+      req.coflow = sc.id;
+      req.demand = scratch_;
+    }
+    req.start = t;
+    return &req;
+  }
+
+  void PruneTo(std::size_t active_size) {
+    if (by_coflow_.size() <= 2 * active_size + 16) return;
+    std::erase_if(by_coflow_, [this](const auto& kv) {
+      return !keep_.contains(kv.first);
+    });
+  }
+  void NoteActive(CoflowId id) { keep_.insert(id); }
+  void BeginReplan() { keep_.clear(); }
+
+ private:
+  static bool SameDemand(const std::vector<FlowDemand>& a,
+                         const std::vector<FlowDemand>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].src != b[i].src || a[i].dst != b[i].dst ||
+          a[i].processing != b[i].processing) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::map<CoflowId, PlanRequest> by_coflow_;
+  std::set<CoflowId> keep_;
+  std::vector<FlowDemand> scratch_;
+};
+
 // InterCoflow over the active set in policy order: builds views, orders,
 // plans on a fresh PRT (optionally seeded with carried-over circuits) and
 // reports the replan through the driver.
 SunflowSchedule PlanActiveSet(ReplayDriver& driver,
                               const PriorityPolicy& policy,
                               const SunflowConfig& config,
-                              const EstablishedCircuits* established,
-                              Time t) {
+                              const EstablishedCircuits* established, Time t,
+                              PlanRequestCache& cache) {
   SimState& s = driver.state();
   auto& active = s.active();
   const Bandwidth bandwidth = config.bandwidth;
@@ -136,19 +189,15 @@ SunflowSchedule PlanActiveSet(ReplayDriver& driver,
   SunflowPlanner planner(s.num_ports(), config);
   if (established != nullptr && !established->empty())
     planner.SetEstablishedCircuits(*established, t);
-  std::vector<PlanRequest> requests;
+  cache.BeginReplan();
+  std::vector<const PlanRequest*> requests;
   requests.reserve(active.size());
   for (std::size_t idx : order) {
     const SimCoflow& sc = active[idx];
-    PlanRequest req;
-    req.coflow = sc.id;
-    req.start = t;
-    for (const auto& [pair, bytes] : sc.remaining) {
-      if (bytes > kBytesEps)
-        req.demand.push_back({pair.first, pair.second, bytes / bandwidth});
-    }
-    requests.push_back(std::move(req));
+    requests.push_back(cache.Refresh(sc, bandwidth, t));
+    cache.NoteActive(sc.id);
   }
+  cache.PruneTo(active.size());
   const auto plan_begin = std::chrono::steady_clock::now();
   SunflowSchedule plan = planner.ScheduleAll(requests);
   const auto plan_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -189,7 +238,8 @@ class CircuitScenario final : public ScenarioPolicy {
 
     SunflowSchedule plan = PlanActiveSet(
         driver, policy_, config_.sunflow,
-        config_.carry_over_circuits ? &established_ : nullptr, t);
+        config_.carry_over_circuits ? &established_ : nullptr, t,
+        request_cache_);
     last_plan_ = t;
 
     // Next event: a release or the earliest planned completion. A release
@@ -240,6 +290,7 @@ class CircuitScenario final : public ScenarioPolicy {
   EngineConfig config_;
   CompletionHook hook_;
   EstablishedCircuits established_;
+  PlanRequestCache request_cache_;
   Time last_plan_ = -kTimeInf;
 };
 
@@ -275,8 +326,8 @@ class GuardScenario final : public ScenarioPolicy {
     if (!timeline_.InTauInterval(t)) {
       // --- T span: priority-scheduled InterCoflow plan, cut at events
       // (no carry-over, no throttle — each span replans from scratch). ---
-      SunflowSchedule plan =
-          PlanActiveSet(driver, policy_, config_.sunflow, nullptr, t);
+      SunflowSchedule plan = PlanActiveSet(driver, policy_, config_.sunflow,
+                                           nullptr, t, request_cache_);
 
       Time t_next = std::min(span_end, t_arrival);
       for (const auto& sc : active)
@@ -331,6 +382,7 @@ class GuardScenario final : public ScenarioPolicy {
   EngineConfig config_;
   StarvationGuardTimeline timeline_;
   PhiAssignments phi_;
+  PlanRequestCache request_cache_;
   Time last_traced_tau_ = -kTimeInf;
 };
 

@@ -1,0 +1,350 @@
+// Tests for the event-indexed wakeup planner (ScheduleOne) and the
+// cross-replan plan memo.
+//
+// ScheduleOne is differentially tested against ScheduleOneRescan, the
+// paper-literal release-chain walk it replaced: over randomized port
+// counts, orderings, δ values, quantization and established circuits, both
+// paths must produce bit-identical reservations, flow finishes and
+// completion times. A dedicated regression test pins the retry-order
+// contract: flows woken at the same instant are retried in their original
+// Ordered() positions, never in heap-arrival order.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/plan_memo.h"
+#include "core/sunflow.h"
+#include "obs/metrics.h"
+
+namespace sunflow {
+namespace {
+
+void ExpectReservationsEqual(const std::vector<CircuitReservation>& a,
+                             const std::vector<CircuitReservation>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].in, b[i].in) << "i=" << i;
+    EXPECT_EQ(a[i].out, b[i].out) << "i=" << i;
+    EXPECT_EQ(a[i].start, b[i].start) << "i=" << i;
+    EXPECT_EQ(a[i].end, b[i].end) << "i=" << i;
+    EXPECT_EQ(a[i].setup, b[i].setup) << "i=" << i;
+    EXPECT_EQ(a[i].coflow, b[i].coflow) << "i=" << i;
+  }
+}
+
+void ExpectSchedulesEqual(const SunflowSchedule& a, const SunflowSchedule& b) {
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.flow_finish, b.flow_finish);
+  EXPECT_EQ(a.reservation_count, b.reservation_count);
+  ExpectReservationsEqual(a.reservations, b.reservations);
+}
+
+PlanRequest RandomRequest(Rng& rng, PortId ports, CoflowId id, Time start) {
+  PlanRequest req;
+  req.coflow = id;
+  req.start = start;
+  const int flows = rng.UniformInt(1, 14);
+  for (int f = 0; f < flows; ++f) {
+    FlowDemand d;
+    d.src = static_cast<PortId>(rng.UniformInt(0, ports - 1));
+    d.dst = static_cast<PortId>(rng.UniformInt(0, ports - 1));
+    // Occasional zero-demand flows (skipped by both paths) and heavy
+    // duplicates of (src, dst) pairs to force port contention.
+    d.processing = rng.Uniform(0, 1) < 0.1 ? 0.0 : rng.Uniform(0.01, 2.0);
+    req.demand.push_back(d);
+  }
+  return req;
+}
+
+SunflowConfig RandomConfig(Rng& rng) {
+  SunflowConfig cfg;
+  cfg.bandwidth = 1.0;  // processing times are given directly
+  static constexpr Time kDeltas[] = {0.0, 1e-4, 0.01, 0.4};
+  cfg.delta = kDeltas[rng.UniformInt(0, 3)];
+  static constexpr ReservationOrder kOrders[] = {
+      ReservationOrder::kOrderedPort, ReservationOrder::kRandom,
+      ReservationOrder::kSortedDemandDesc, ReservationOrder::kSortedDemandAsc};
+  cfg.order = kOrders[rng.UniformInt(0, 3)];
+  cfg.shuffle_seed = rng.NextU64();
+  cfg.demand_quantum = rng.Uniform(0, 1) < 0.3 ? 0.05 : 0.0;
+  cfg.plan_reuse = false;  // isolate the two ScheduleOne paths
+  return cfg;
+}
+
+// ScheduleOne must be bit-identical to the rescan oracle on randomized
+// multi-coflow workloads sharing one PRT.
+TEST(PlannerWakeup, DifferentialAgainstRescanOracle) {
+  Rng rng(4711);
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto ports = static_cast<PortId>(rng.UniformInt(2, 10));
+    const SunflowConfig cfg = RandomConfig(rng);
+    SunflowPlanner fast(ports, cfg);
+    SunflowPlanner oracle(ports, cfg);
+    SunflowSchedule got, want;
+    Time t = rng.Uniform(0, 5.0);
+    const int coflows = rng.UniformInt(1, 5);
+    for (CoflowId id = 0; id < coflows; ++id) {
+      const PlanRequest req = RandomRequest(rng, ports, id, t);
+      const Time f1 = fast.ScheduleOne(req, got);
+      const Time f2 = oracle.ScheduleOneRescan(req, want);
+      EXPECT_EQ(f1, f2) << "trial=" << trial << " coflow=" << id;
+      if (rng.Uniform(0, 1) < 0.5) t += rng.Uniform(0, 1.0);
+    }
+    ExpectSchedulesEqual(got, want);
+    ExpectReservationsEqual(fast.prt().reservations(),
+                            oracle.prt().reservations());
+  }
+}
+
+// Same differential with established circuits declared at the plan start
+// (the replay engine's carry-over), so some reservations get setup == 0.
+TEST(PlannerWakeup, DifferentialWithEstablishedCircuits) {
+  Rng rng(815);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto ports = static_cast<PortId>(rng.UniformInt(2, 8));
+    const SunflowConfig cfg = RandomConfig(rng);
+    const Time t0 = rng.Uniform(0, 3.0);
+    EstablishedCircuits circuits;
+    for (PortId p = 0; p < ports; ++p) {
+      if (rng.Uniform(0, 1) < 0.5) {
+        circuits[p] = static_cast<PortId>(rng.UniformInt(0, ports - 1));
+      }
+    }
+    SunflowPlanner fast(ports, cfg);
+    SunflowPlanner oracle(ports, cfg);
+    fast.SetEstablishedCircuits(circuits, t0);
+    oracle.SetEstablishedCircuits(circuits, t0);
+    SunflowSchedule got, want;
+    const int coflows = rng.UniformInt(1, 4);
+    for (CoflowId id = 0; id < coflows; ++id) {
+      const PlanRequest req = RandomRequest(rng, ports, id, t0);
+      EXPECT_EQ(fast.ScheduleOne(req, got),
+                oracle.ScheduleOneRescan(req, want))
+          << "trial=" << trial;
+    }
+    ExpectSchedulesEqual(got, want);
+  }
+}
+
+// ISSUE contract: flows woken at the same release instant must be retried
+// in their original Ordered() positions. Four flows contend for one output
+// port under kSortedDemandDesc, so the Ordered() permutation (by demand,
+// descending) differs from both the declaration order and the (src, dst)
+// order; the serialization on the shared port must follow the permutation.
+TEST(PlannerWakeup, RetryOrderReplaysOrderedSequence) {
+  SunflowConfig cfg;
+  cfg.bandwidth = 1.0;
+  cfg.delta = 0.1;
+  cfg.order = ReservationOrder::kSortedDemandDesc;
+  cfg.plan_reuse = false;
+  SunflowPlanner planner(6, cfg);
+  PlanRequest req;
+  req.coflow = 1;
+  req.start = 0;
+  // Declared in ascending-demand order; Ordered() reverses it.
+  req.demand = {{4, 0, 0.5}, {3, 0, 1.0}, {2, 0, 2.0}, {1, 0, 3.0}};
+  SunflowSchedule schedule;
+  planner.ScheduleOne(req, schedule);
+
+  // Reservations land on the PRT in creation order (the schedule's own
+  // reservation list is filled by ScheduleAll, not ScheduleOne).
+  const auto& created = planner.prt().reservations();
+  ASSERT_EQ(created.size(), 4u);
+  const PortId want_src[] = {1, 2, 3, 4};
+  const Time want_start[] = {0.0, 3.1, 5.2, 6.3};
+  const Time want_end[] = {3.1, 5.2, 6.3, 6.9};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(created[i].in, want_src[i]) << "i=" << i;
+    EXPECT_NEAR(created[i].start, want_start[i], 1e-12);
+    EXPECT_NEAR(created[i].end, want_end[i], 1e-12);
+  }
+
+  // And the oracle agrees bit-for-bit.
+  SunflowPlanner oracle(6, cfg);
+  SunflowSchedule want;
+  oracle.ScheduleOneRescan(req, want);
+  ExpectSchedulesEqual(schedule, want);
+  ExpectReservationsEqual(created, oracle.prt().reservations());
+}
+
+// ---------------------------------------------------------------------------
+// Plan memo (core/plan_memo.h).
+
+constexpr PortId kMemoPorts = 8;
+
+std::vector<PlanRequest> MemoRequests(Time start) {
+  Rng rng(1234);
+  std::vector<PlanRequest> reqs;
+  for (CoflowId id = 0; id < 3; ++id) {
+    reqs.push_back(RandomRequest(rng, kMemoPorts, id, start));
+    for (FlowDemand& d : reqs.back().demand) {
+      if (d.processing == 0.0) d.processing = 0.3;  // keep every flow live
+    }
+  }
+  return reqs;
+}
+
+SunflowConfig MemoConfig(bool reuse = true) {
+  SunflowConfig cfg;
+  cfg.bandwidth = 1.0;
+  cfg.delta = 0.05;
+  cfg.plan_reuse = reuse;
+  return cfg;
+}
+
+struct CounterDeltas {
+  std::uint64_t hits0;
+  std::uint64_t misses0;
+  CounterDeltas()
+      : hits0(obs::GlobalMetrics().GetCounter("plan.cache_hits").value()),
+        misses0(obs::GlobalMetrics().GetCounter("plan.cache_misses").value()) {
+  }
+  std::uint64_t hits() const {
+    return obs::GlobalMetrics().GetCounter("plan.cache_hits").value() - hits0;
+  }
+  std::uint64_t misses() const {
+    return obs::GlobalMetrics().GetCounter("plan.cache_misses").value() -
+           misses0;
+  }
+};
+
+TEST(PlanMemo, SecondReplanSplicesByteIdentically) {
+  GlobalPlanMemo().Clear();
+  const std::vector<PlanRequest> reqs = MemoRequests(/*start=*/1.5);
+
+  CounterDeltas first;
+  SunflowPlanner cold(kMemoPorts, MemoConfig());
+  const SunflowSchedule s1 = cold.ScheduleAll(reqs);
+  EXPECT_EQ(first.hits(), 0u);
+  EXPECT_EQ(first.misses(), reqs.size());
+  EXPECT_EQ(GlobalPlanMemo().entries(), reqs.size());
+
+  CounterDeltas second;
+  SunflowPlanner warm(kMemoPorts, MemoConfig());
+  const SunflowSchedule s2 = warm.ScheduleAll(reqs);
+  EXPECT_EQ(second.hits(), reqs.size());
+  EXPECT_EQ(second.misses(), 0u);
+  ExpectSchedulesEqual(s1, s2);
+  // The PRT must be populated on the hit path too (callers inspect it).
+  ExpectReservationsEqual(warm.prt().reservations(),
+                          cold.prt().reservations());
+
+  // Both must match the memo-free planner bit-for-bit.
+  SunflowPlanner off(kMemoPorts, MemoConfig(/*reuse=*/false));
+  ExpectSchedulesEqual(s1, off.ScheduleAll(reqs));
+}
+
+TEST(PlanMemo, DemandChangeInvalidatesSuffixOnly) {
+  GlobalPlanMemo().Clear();
+  std::vector<PlanRequest> reqs = MemoRequests(/*start=*/2.0);
+  SunflowPlanner cold(kMemoPorts, MemoConfig());
+  cold.ScheduleAll(reqs);
+
+  // Mutating the middle request's demand (a completion would do the same)
+  // keeps the prefix before it and invalidates everything from it on.
+  reqs[1].demand[0].processing += 0.25;
+  CounterDeltas d;
+  SunflowPlanner warm(kMemoPorts, MemoConfig());
+  const SunflowSchedule got = warm.ScheduleAll(reqs);
+  EXPECT_EQ(d.hits(), 1u);
+  EXPECT_EQ(d.misses(), 2u);
+
+  SunflowPlanner off(kMemoPorts, MemoConfig(/*reuse=*/false));
+  ExpectSchedulesEqual(got, off.ScheduleAll(reqs));
+}
+
+TEST(PlanMemo, ReplanInstantChangeMissesEverything) {
+  GlobalPlanMemo().Clear();
+  SunflowPlanner cold(kMemoPorts, MemoConfig());
+  cold.ScheduleAll(MemoRequests(/*start=*/1.0));
+
+  CounterDeltas d;
+  SunflowPlanner warm(kMemoPorts, MemoConfig());
+  const std::vector<PlanRequest> shifted = MemoRequests(/*start=*/1.25);
+  const SunflowSchedule got = warm.ScheduleAll(shifted);
+  EXPECT_EQ(d.hits(), 0u);
+  EXPECT_EQ(d.misses(), shifted.size());
+
+  SunflowPlanner off(kMemoPorts, MemoConfig(/*reuse=*/false));
+  ExpectSchedulesEqual(got, off.ScheduleAll(shifted));
+}
+
+TEST(PlanMemo, PriorityReorderMissesFromDivergence) {
+  GlobalPlanMemo().Clear();
+  std::vector<PlanRequest> reqs = MemoRequests(/*start=*/3.0);
+  SunflowPlanner cold(kMemoPorts, MemoConfig());
+  cold.ScheduleAll(reqs);
+
+  std::swap(reqs[0], reqs[1]);
+  CounterDeltas d;
+  SunflowPlanner warm(kMemoPorts, MemoConfig());
+  const SunflowSchedule got = warm.ScheduleAll(reqs);
+  EXPECT_EQ(d.hits(), 0u);  // first key already diverges
+  EXPECT_EQ(d.misses(), reqs.size());
+
+  SunflowPlanner off(kMemoPorts, MemoConfig(/*reuse=*/false));
+  ExpectSchedulesEqual(got, off.ScheduleAll(reqs));
+}
+
+TEST(PlanMemo, EstablishedCircuitChangeMissesEverything) {
+  GlobalPlanMemo().Clear();
+  const std::vector<PlanRequest> reqs = MemoRequests(/*start=*/1.5);
+  SunflowPlanner cold(kMemoPorts, MemoConfig());
+  cold.ScheduleAll(reqs);
+
+  CounterDeltas d;
+  SunflowPlanner warm(kMemoPorts, MemoConfig());
+  warm.SetEstablishedCircuits({{0, 1}}, /*at=*/1.5);
+  warm.ScheduleAll(reqs);
+  EXPECT_EQ(d.hits(), 0u);
+  EXPECT_EQ(d.misses(), reqs.size());
+}
+
+TEST(PlanMemo, DisabledPlannerBypassesMemoEntirely) {
+  GlobalPlanMemo().Clear();
+  const std::vector<PlanRequest> reqs = MemoRequests(/*start=*/1.5);
+  CounterDeltas d;
+  SunflowPlanner off(kMemoPorts, MemoConfig(/*reuse=*/false));
+  off.ScheduleAll(reqs);
+  EXPECT_EQ(d.hits(), 0u);
+  EXPECT_EQ(d.misses(), 0u);
+  EXPECT_EQ(GlobalPlanMemo().entries(), 0u);
+}
+
+// TSan coverage: concurrent planners sharing the global memo, mixing hits
+// (the common request set) and misses (per-thread variants), must all
+// produce the reference output.
+TEST(PlanMemo, ConcurrentReplansShareTheMemoSafely) {
+  GlobalPlanMemo().Clear();
+  SunflowPlanner ref_planner(kMemoPorts, MemoConfig(/*reuse=*/false));
+  const SunflowSchedule reference = ref_planner.ScheduleAll(
+      MemoRequests(/*start=*/1.5));
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([w, &reference] {
+      for (int iter = 0; iter < 25; ++iter) {
+        // Per-thread request copies: PlanRequest's Ordered() cache is not
+        // safe to share across planners running concurrently.
+        const std::vector<PlanRequest> reqs = MemoRequests(/*start=*/1.5);
+        SunflowPlanner planner(kMemoPorts, MemoConfig());
+        ExpectSchedulesEqual(planner.ScheduleAll(reqs), reference);
+        // A thread-distinct instant: misses for every thread but hits on
+        // this thread's own later iterations.
+        const std::vector<PlanRequest> own =
+            MemoRequests(/*start=*/10.0 + w);
+        SunflowPlanner other(kMemoPorts, MemoConfig());
+        other.ScheduleAll(own);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GT(GlobalPlanMemo().entries(), 0u);
+}
+
+}  // namespace
+}  // namespace sunflow

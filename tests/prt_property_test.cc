@@ -1,0 +1,283 @@
+// Property test for the flat-timeline PortReservationTable: a randomized
+// workload (>10k reservations) cross-checked against a brute-force O(n)
+// oracle that re-derives every probe from first principles. The probe
+// schedule is adversarial on two axes: times sit on and within ±2ε of
+// reservation boundaries (exercising every tolerant comparison), and the
+// probe sequence mixes long forward sweeps with backward jumps so the
+// per-port cursor is repeatedly advanced, invalidated and re-seated.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "core/prt.h"
+
+namespace sunflow {
+namespace {
+
+// Brute-force reference: unordered per-port interval lists plus the global
+// release list, each probe answered by a full scan using the PRT's
+// documented semantics (half-open intervals, ε-tolerant comparisons).
+class Oracle {
+ public:
+  explicit Oracle(PortId num_ports)
+      : in_(static_cast<std::size_t>(num_ports)),
+        out_(static_cast<std::size_t>(num_ports)) {}
+
+  void Add(const CircuitReservation& r) {
+    in_[static_cast<std::size_t>(r.in)].push_back({r.start, r.end});
+    out_[static_cast<std::size_t>(r.out)].push_back({r.start, r.end});
+    releases_.push_back(r.end);
+  }
+
+  bool InputFreeAt(PortId i, Time t) const { return FreeAt(in_, i, t); }
+  bool OutputFreeAt(PortId j, Time t) const { return FreeAt(out_, j, t); }
+  Time InputBusyUntil(PortId i, Time t) const { return BusyUntil(in_, i, t); }
+  Time OutputBusyUntil(PortId j, Time t) const {
+    return BusyUntil(out_, j, t);
+  }
+
+  PortReservationTable::NextReservation NextReservationAfter(PortId in,
+                                                             PortId out,
+                                                             Time t) const {
+    const auto a = NextStartAfter(in_, in, t);
+    const auto b = NextStartAfter(out_, out, t);
+    if (a.start < b.start) return a;
+    if (b.start < a.start) return b;
+    return {a.start, std::max(a.release, b.release)};
+  }
+
+  Time NextReleaseAfter(Time t) const {
+    Time best = kTimeInf;
+    for (Time e : releases_)
+      if (e > t + kTimeEps) best = std::min(best, e);
+    return best;
+  }
+
+  Time FirstReleaseAtOrAfter(Time t) const {
+    Time best = kTimeInf;
+    for (Time e : releases_)
+      if (e >= t) best = std::min(best, e);
+    return best;
+  }
+
+  Time LastReleaseBefore(Time t) const {
+    Time best = -kTimeInf;
+    for (Time e : releases_)
+      if (e < t) best = std::max(best, e);
+    return best;
+  }
+
+ private:
+  using Slots = std::vector<std::vector<std::pair<Time, Time>>>;
+
+  static bool FreeAt(const Slots& side, PortId p, Time t) {
+    for (const auto& [s, e] : side[static_cast<std::size_t>(p)]) {
+      if (s <= t && e > t + kTimeEps) return false;
+    }
+    return true;
+  }
+
+  static Time BusyUntil(const Slots& side, PortId p, Time t) {
+    for (const auto& [s, e] : side[static_cast<std::size_t>(p)]) {
+      if (s <= t && e > t + kTimeEps) return e;
+    }
+    return t;
+  }
+
+  static PortReservationTable::NextReservation NextStartAfter(
+      const Slots& side, PortId p, Time t) {
+    PortReservationTable::NextReservation best;
+    for (const auto& [s, e] : side[static_cast<std::size_t>(p)]) {
+      if (s > t && s < best.start) best = {s, e};
+    }
+    return best;
+  }
+
+  Slots in_;
+  Slots out_;
+  std::vector<Time> releases_;
+};
+
+class Workload {
+ public:
+  Workload(std::uint64_t seed, PortId ports)
+      : rng_(seed),
+        ports_(ports),
+        frontier_(static_cast<std::size_t>(ports), 0.0) {}
+
+  // Adds `target` more accepted reservations. 70% of inserts extend a
+  // port pair's frontier (the planner's append pattern); the rest land at
+  // historical times, where overlap rejections are expected and
+  // mid-vector insertion is exercised. The frontier persists across
+  // calls so incremental fills stay productive.
+  void Fill(PortReservationTable& prt, Oracle& oracle, int target) {
+    std::vector<Time>& frontier = frontier_;
+    int accepted = 0;
+    int attempts = 0;
+    while (accepted < target && ++attempts < 40 * target) {
+      const auto in = static_cast<PortId>(rng_.UniformInt(0, ports_ - 1));
+      const auto out = static_cast<PortId>(rng_.UniformInt(0, ports_ - 1));
+      Time start;
+      if (rng_.Uniform(0, 1) < 0.7) {
+        start = std::max(frontier[static_cast<std::size_t>(in)],
+                         frontier[static_cast<std::size_t>(out)]) +
+                rng_.Uniform(0, 0.02);
+      } else {
+        start = rng_.Uniform(0, 50.0);
+      }
+      // ε-scale jitter half the time, so boundaries land within tolerance
+      // of each other instead of on a clean grid.
+      if (rng_.Uniform(0, 1) < 0.5) {
+        start += rng_.Uniform(-2.0, 2.0) * kTimeEps;
+      }
+      const Time len = rng_.Uniform(0, 1) < 0.2
+                           ? rng_.Uniform(2.0, 10.0) * kTimeEps
+                           : rng_.Uniform(0.005, 0.5);
+      const CircuitReservation r{in, out, start, start + len, 0.0, 7};
+      try {
+        prt.Reserve(r);
+      } catch (const CheckFailure&) {
+        continue;  // overlap — expected for historical draws
+      }
+      oracle.Add(r);
+      ++accepted;
+      frontier[static_cast<std::size_t>(in)] =
+          std::max(frontier[static_cast<std::size_t>(in)], r.end);
+      frontier[static_cast<std::size_t>(out)] =
+          std::max(frontier[static_cast<std::size_t>(out)], r.end);
+    }
+    ASSERT_GE(accepted, target) << "workload generator starved";
+  }
+
+  // One adversarial probe time: a reservation boundary, ±{0.5, 1, 2}ε off
+  // one, or uniform over the horizon.
+  Time ProbeTime(const std::vector<CircuitReservation>& all) {
+    const double coin = rng_.Uniform(0, 1);
+    if (coin < 0.6 && !all.empty()) {
+      const auto& r =
+          all[static_cast<std::size_t>(rng_.UniformInt(
+              0, static_cast<int>(all.size()) - 1))];
+      const Time base = rng_.Uniform(0, 1) < 0.5 ? r.start : r.end;
+      static constexpr double kOffsets[] = {-2.0, -1.0, -0.5, 0.0,
+                                            0.5,  1.0,  2.0};
+      return base + kOffsets[rng_.UniformInt(0, 6)] * kTimeEps;
+    }
+    return rng_.Uniform(-1.0, 60.0);
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+  PortId ports_;
+  std::vector<Time> frontier_;
+};
+
+void CheckProbe(const PortReservationTable& prt, const Oracle& oracle,
+                PortId in, PortId out, Time t) {
+  EXPECT_EQ(prt.InputFreeAt(in, t), oracle.InputFreeAt(in, t)) << "t=" << t;
+  EXPECT_EQ(prt.OutputFreeAt(out, t), oracle.OutputFreeAt(out, t))
+      << "t=" << t;
+  EXPECT_EQ(prt.InputBusyUntil(in, t), oracle.InputBusyUntil(in, t))
+      << "t=" << t;
+  EXPECT_EQ(prt.OutputBusyUntil(out, t), oracle.OutputBusyUntil(out, t))
+      << "t=" << t;
+  const auto got = prt.NextReservationAfter(in, out, t);
+  const auto want = oracle.NextReservationAfter(in, out, t);
+  EXPECT_EQ(got.start, want.start) << "t=" << t;
+  EXPECT_EQ(got.release, want.release) << "t=" << t;
+  EXPECT_EQ(prt.NextReservationStartAfter(in, out, t), want.start)
+      << "t=" << t;
+  EXPECT_EQ(prt.NextReleaseAfter(t), oracle.NextReleaseAfter(t)) << "t=" << t;
+  EXPECT_EQ(prt.FirstReleaseAtOrAfter(t), oracle.FirstReleaseAtOrAfter(t))
+      << "t=" << t;
+  EXPECT_EQ(prt.LastReleaseBefore(t), oracle.LastReleaseBefore(t))
+      << "t=" << t;
+}
+
+TEST(PrtProperty, MatchesBruteForceOracleOnAdversarialProbes) {
+  constexpr PortId kPorts = 12;
+  constexpr int kReservations = 12000;
+  PortReservationTable prt(kPorts);
+  Oracle oracle(kPorts);
+  Workload workload(/*seed=*/20161212, kPorts);
+  workload.Fill(prt, oracle, kReservations);
+  prt.CheckInvariants();
+  ASSERT_GE(prt.reservations().size(),
+            static_cast<std::size_t>(kReservations));
+
+  const auto& all = prt.reservations();
+  Rng& rng = workload.rng();
+  // Random probes: fresh port pair and adversarial time each round, with
+  // occasional short monotone sweeps (the planner's forward pattern).
+  for (int k = 0; k < 3000; ++k) {
+    const auto in = static_cast<PortId>(rng.UniformInt(0, kPorts - 1));
+    const auto out = static_cast<PortId>(rng.UniformInt(0, kPorts - 1));
+    Time t = workload.ProbeTime(all);
+    CheckProbe(prt, oracle, in, out, t);
+    if (k % 5 == 0) {
+      for (int step = 0; step < 4; ++step) {
+        t = prt.NextReleaseAfter(t);
+        if (t == kTimeInf) break;
+        CheckProbe(prt, oracle, in, out, t);
+      }
+    }
+  }
+}
+
+// The cursor must survive pathological probe sequences: strictly
+// backward walks, repeats of the same instant, and alternation between
+// the two ends of the horizon.
+TEST(PrtProperty, CursorSurvivesBackwardAndRepeatedProbes) {
+  constexpr PortId kPorts = 6;
+  PortReservationTable prt(kPorts);
+  Oracle oracle(kPorts);
+  Workload workload(/*seed=*/7, kPorts);
+  workload.Fill(prt, oracle, 2000);
+
+  std::vector<Time> times;
+  for (const auto& r : prt.reservations()) {
+    times.push_back(r.start);
+    times.push_back(r.end - kTimeEps);
+  }
+  std::sort(times.begin(), times.end());
+  for (PortId p = 0; p < kPorts; ++p) {
+    // Forward sweep, then strictly backward, then ping-pong.
+    for (const Time t : times) CheckProbe(prt, oracle, p, p, t);
+    for (auto it = times.rbegin(); it != times.rend(); ++it) {
+      CheckProbe(prt, oracle, p, p, *it);
+    }
+    for (std::size_t k = 0; k < times.size(); k += 2) {
+      CheckProbe(prt, oracle, p, p, times[k]);
+      CheckProbe(prt, oracle, p, p, times[times.size() - 1 - k / 2]);
+      CheckProbe(prt, oracle, p, p, times[k]);
+    }
+  }
+}
+
+// Interleaving probes with inserts re-validates the cursor adjustment on
+// mid-vector insertion (slots shifting under a live cursor).
+TEST(PrtProperty, ProbesInterleavedWithInserts) {
+  constexpr PortId kPorts = 8;
+  PortReservationTable prt(kPorts);
+  Oracle oracle(kPorts);
+  Workload workload(/*seed=*/99, kPorts);
+  Rng& rng = workload.rng();
+  for (int round = 0; round < 40; ++round) {
+    workload.Fill(prt, oracle, 100);
+    const auto& all = prt.reservations();
+    for (int k = 0; k < 50; ++k) {
+      const auto in = static_cast<PortId>(rng.UniformInt(0, kPorts - 1));
+      const auto out = static_cast<PortId>(rng.UniformInt(0, kPorts - 1));
+      CheckProbe(prt, oracle, in, out, workload.ProbeTime(all));
+    }
+  }
+  prt.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace sunflow

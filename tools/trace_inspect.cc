@@ -9,8 +9,13 @@
 //
 // Usage:
 //   sunflow_trace_inspect --trace=run.jsonl [--top=20] [--csv]
+//   sunflow_trace_inspect --manifest=run.manifest.json
 //
 // --csv switches the per-coflow section to machine-readable CSV on stdout.
+// --manifest inspects a run manifest instead of an event trace: it prints
+// the plan-cache counters (plan.cache_hits / plan.cache_misses) and each
+// profiled phase's share of total self time, the two numbers the planner
+// perf work is judged by.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -21,6 +26,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "obs/jsonl.h"
+#include "obs/manifest.h"
 
 using namespace sunflow;
 using obs::Event;
@@ -50,6 +56,65 @@ struct PortStats {
   int setups = 0;
 };
 
+// --manifest mode: plan-cache counters and per-phase self-time shares
+// from a run manifest (obs/manifest.h).
+int InspectManifest(const std::string& path) {
+  obs::RunManifest m;
+  try {
+    m = obs::RunManifest::FromJson(obs::JsonValue::ParseFile(path));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::printf("manifest: %s\n", path.c_str());
+  std::printf("tool: %s, wall %.2f ms, %d thread(s)\n", m.tool.c_str(),
+              m.wall_ns / 1e6, m.threads);
+
+  double hits = -1, misses = -1;
+  for (const obs::MetricRow& r : m.metrics) {
+    if (r.name == "plan.cache_hits") hits = r.value;
+    if (r.name == "plan.cache_misses") misses = r.value;
+  }
+  if (hits >= 0 || misses >= 0) {
+    hits = std::max(hits, 0.0);
+    misses = std::max(misses, 0.0);
+    const double total = hits + misses;
+    std::printf(
+        "plan cache: %.0f hits, %.0f misses (%.1f%% of %.0f replans "
+        "spliced from the memo)\n",
+        hits, misses, total > 0 ? 100.0 * hits / total : 0.0, total);
+  } else {
+    std::printf(
+        "plan cache: no plan.cache_* counters (run predates the plan memo "
+        "or never planned)\n");
+  }
+
+  double total_self = 0;
+  for (const obs::ProfileRow& r : m.profile) total_self += r.stats.self_ns;
+  if (m.profile.empty()) {
+    std::printf("no profiled phases recorded\n");
+    return 0;
+  }
+  std::vector<obs::ProfileRow> rows = m.profile;
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.stats.self_ns > b.stats.self_ns;
+  });
+  TextTable table("Per-phase self time (share of " +
+                  TextTable::Fmt(total_self / 1e6, 2) + " ms total self)");
+  table.SetHeader({"phase", "count", "total ms", "self ms", "self %"});
+  for (const obs::ProfileRow& r : rows) {
+    table.AddRow({r.name, std::to_string(r.stats.count),
+                  TextTable::Fmt(r.stats.total_ns / 1e6, 2),
+                  TextTable::Fmt(r.stats.self_ns / 1e6, 2),
+                  TextTable::Fmt(
+                      total_self > 0 ? 100.0 * r.stats.self_ns / total_self : 0,
+                      2)});
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,10 +125,17 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("top", 20, "coflow rows to show"));
   const bool csv =
       flags.GetBool("csv", false, "emit the per-coflow table as CSV");
-  if (flags.help_requested() || path.empty()) {
-    flags.PrintHelp("Summarize a Sunflow JSONL event trace");
-    return path.empty() && !flags.help_requested() ? 2 : 0;
+  const std::string manifest_path = flags.GetString(
+      "manifest", "",
+      "run manifest JSON to inspect instead of a trace: prints the "
+      "plan-cache counters and per-phase self-time shares");
+  if (flags.help_requested() || (path.empty() && manifest_path.empty())) {
+    flags.PrintHelp("Summarize a Sunflow JSONL event trace or run manifest");
+    return path.empty() && manifest_path.empty() && !flags.help_requested()
+               ? 2
+               : 0;
   }
+  if (!manifest_path.empty()) return InspectManifest(manifest_path);
 
   std::vector<Event> events;
   try {
