@@ -31,6 +31,7 @@
 #include "common/cli.h"
 #include "exp/csv_export.h"
 #include "sim/engine/scenario.h"
+#include "obs/attribution.h"
 #include "obs/chrome_trace.h"
 #include "obs/jsonl.h"
 #include "obs/manifest.h"
@@ -304,6 +305,18 @@ class BenchSession {
     finished_ = true;
     tracer_->Finish();
     tracer_->ReportMetrics();
+    // When the run was traced, fold the CCT attribution aggregates into
+    // the manifest so a regression in δ overhead or contention shows up
+    // in bench_compare's informational rows without re-reading the trace.
+    if (tracer_->enabled() && !tracer_->events().empty()) {
+      const obs::AttributionReport attr = obs::Attribute(tracer_->events());
+      if (attr.total_cct > 0) {
+        AddManifestValue("attr.delta_fraction", attr.delta_fraction);
+        AddManifestValue("attr.contention_fraction", attr.contention_fraction);
+        AddManifestValue("attr.transmit_fraction", attr.transmit_fraction);
+        AddManifestValue("attr.starvation_fraction", attr.starvation_fraction);
+      }
+    }
     if (!manifest_path_.empty()) {
       manifest_.seed = workload_.seed;
       manifest_.threads = threads_;

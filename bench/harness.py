@@ -33,8 +33,13 @@ BENCH_SCHEMA = "sunflow.bench/v1"
 MANIFEST_SCHEMA = "sunflow.run_manifest/v1"
 
 # name -> (binary relative to the build dir, extra fixed args).
-# table3_complexity is a google-benchmark binary without manifest support
-# and is intentionally absent.
+# sweep_scaling pins --threads=8 so the committed baseline actually
+# exercises the pool: the default (0 = hardware threads) degenerates to a
+# serial-only sweep on a 1-core bless host, silently committing
+# best_speedup=1.0 with the parallel path never run.
+# table3_complexity is a google-benchmark binary whose custom main writes
+# the same run manifest and ignores the shared workload flags; the short
+# min_time keeps the harness's repeat loop affordable.
 BENCHES = {
     "fig3_intra_vs_tcl": ("bench/fig3_intra_vs_tcl", ["--all_algos"]),
     "fig4_m2m_cdf": ("bench/fig4_m2m_cdf", []),
@@ -45,7 +50,11 @@ BENCHES = {
     "fig9_cct_diff": ("bench/fig9_cct_diff", []),
     "fig10_delta_inter": ("bench/fig10_delta_inter", []),
     "engine_replan": ("bench/engine_replan", []),
-    "sweep_scaling": ("bench/sweep_scaling", []),
+    "sweep_scaling": ("bench/sweep_scaling", ["--threads=8"]),
+    "table3_complexity": (
+        "bench/table3_complexity",
+        ["--benchmark_min_time=0.05"],
+    ),
 }
 
 

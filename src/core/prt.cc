@@ -1,6 +1,7 @@
 #include "core/prt.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
 
 #include "common/assert.h"
@@ -94,6 +95,53 @@ void PortReservationTable::PortTimeline::Insert(const Slot& s) {
   const auto idx = static_cast<std::size_t>(pos - slots.begin());
   if (idx < cursor) ++cursor;  // keep the cursor on the same slot
   slots.insert(pos, s);
+}
+
+std::size_t PortReservationTable::PortTimeline::CoveringIndexAt(
+    Time t) const {
+  // Same predicate as LowerBound, but without reading or re-seating the
+  // cursor: the first slot whose end is still ahead of t covers t iff it
+  // has already started.
+  const auto it = std::partition_point(
+      slots.begin(), slots.end(),
+      [t](const Slot& s) { return s.end <= t + kTimeEps; });
+  if (it == slots.end() || it->start > t) return SIZE_MAX;
+  return it->index;
+}
+
+const PortReservationTable::Slot*
+PortReservationTable::PortTimeline::FirstStartAfter(Time t) const {
+  auto it = std::partition_point(
+      slots.begin(), slots.end(),
+      [t](const Slot& s) { return s.end <= t + kTimeEps; });
+  if (it != slots.end() && it->start <= t) ++it;
+  if (it == slots.end()) return nullptr;
+  return &*it;
+}
+
+CoflowId PortReservationTable::InputOwnerAt(PortId i, Time t) const {
+  SUNFLOW_CHECK(i >= 0 && i < num_ports_);
+  const std::size_t idx =
+      in_slots_[static_cast<std::size_t>(i)].CoveringIndexAt(t);
+  return idx == SIZE_MAX ? -1 : all_[idx].coflow;
+}
+
+CoflowId PortReservationTable::OutputOwnerAt(PortId j, Time t) const {
+  SUNFLOW_CHECK(j >= 0 && j < num_ports_);
+  const std::size_t idx =
+      out_slots_[static_cast<std::size_t>(j)].CoveringIndexAt(t);
+  return idx == SIZE_MAX ? -1 : all_[idx].coflow;
+}
+
+CoflowId PortReservationTable::NextOwnerAfter(PortId in, PortId out,
+                                              Time t) const {
+  SUNFLOW_CHECK(in >= 0 && in < num_ports_);
+  SUNFLOW_CHECK(out >= 0 && out < num_ports_);
+  const Slot* a = in_slots_[static_cast<std::size_t>(in)].FirstStartAfter(t);
+  const Slot* b = out_slots_[static_cast<std::size_t>(out)].FirstStartAfter(t);
+  const Slot* first = a;
+  if (first == nullptr || (b != nullptr && b->start < first->start)) first = b;
+  return first == nullptr ? -1 : all_[first->index].coflow;
 }
 
 bool PortReservationTable::InputFreeAt(PortId i, Time t) const {

@@ -78,6 +78,20 @@ class PortReservationTable {
   Time FirstReleaseAtOrAfter(Time t) const;
   Time LastReleaseBefore(Time t) const;
 
+  /// Coflow id owning the reservation that covers time t on the port
+  /// (same half-open tolerance as InputFreeAt), or -1 when the port is
+  /// free at t. Pure probes for trace emission: they binary-search without
+  /// touching the port's probe cursor, so calling them cannot perturb the
+  /// planner's amortized forward-scan pattern.
+  CoflowId InputOwnerAt(PortId i, Time t) const;
+  CoflowId OutputOwnerAt(PortId j, Time t) const;
+
+  /// Coflow id of the earliest reservation beginning strictly after t on
+  /// either port — the blocker in the gap-too-short case of Algorithm 1 —
+  /// or -1 if neither port has a later start. Cursor-free like the owner
+  /// probes above.
+  CoflowId NextOwnerAfter(PortId in, PortId out, Time t) const;
+
   /// All reservations in insertion order.
   const std::vector<CircuitReservation>& reservations() const {
     return all_;
@@ -120,6 +134,11 @@ class PortReservationTable {
     /// reservation never half-applies.
     void CheckFits(const Slot& s) const;
     void Insert(const Slot& s);  ///< keeps sorted order; caller validated
+    /// Index into all_ of the slot covering t, or SIZE_MAX when free at t.
+    /// Cursor-free (plain binary search) — see the owner probes above.
+    std::size_t CoveringIndexAt(Time t) const;
+    /// The first slot starting strictly after t, or nullptr. Cursor-free.
+    const Slot* FirstStartAfter(Time t) const;
   };
 
   PortId num_ports_;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <queue>
 #include <utility>
 
@@ -215,6 +216,50 @@ Time SunflowPlanner::ScheduleOne(const PlanRequest& request,
   // Remaining demand per ordered index; 0 once the flow is done.
   std::vector<Time> remaining(ordered.size(), 0);
 
+  // Blocked-episode tracking, trace emission only (inert without a sink —
+  // the cursor-free owner probes are never called and no state allocates).
+  // One open episode per flow; an episode closes and a new one opens when
+  // the blocking cause (reason, blamer) changes, so contention spans
+  // attribute to the coflow actually in the way at each instant.
+  std::vector<Time> blk_since;
+  std::vector<obs::BlockReason> blk_reason;
+  std::vector<CoflowId> blk_blamer;
+  if (sink_ != nullptr) {
+    blk_since.assign(ordered.size(), kTimeInf);
+    blk_reason.assign(ordered.size(), obs::BlockReason::kInputPortBusy);
+    blk_blamer.assign(ordered.size(), -1);
+  }
+  auto close_episode = [&](std::size_t idx, const FlowDemand& f) {
+    if (sink_ == nullptr || blk_since[idx] >= kTimeInf) return;
+    obs::Emit(sink_, {.type = obs::EventType::kFlowUnblocked,
+                      .t = t,
+                      .dur = t - blk_since[idx],
+                      .coflow = request.coflow,
+                      .in = f.src,
+                      .out = f.dst,
+                      .value = static_cast<double>(blk_blamer[idx]),
+                      .count = static_cast<std::int64_t>(blk_reason[idx])});
+    blk_since[idx] = kTimeInf;
+  };
+  auto note_blocked = [&](std::size_t idx, const FlowDemand& f,
+                          obs::BlockReason reason, CoflowId blamer) {
+    if (blk_since[idx] < kTimeInf && blk_reason[idx] == reason &&
+        blk_blamer[idx] == blamer) {
+      return;  // same cause still in the way: the episode continues
+    }
+    close_episode(idx, f);
+    blk_since[idx] = t;
+    blk_reason[idx] = reason;
+    blk_blamer[idx] = blamer;
+    obs::Emit(sink_, {.type = obs::EventType::kFlowBlocked,
+                      .t = t,
+                      .coflow = request.coflow,
+                      .in = f.src,
+                      .out = f.dst,
+                      .value = static_cast<double>(blamer),
+                      .count = static_cast<std::int64_t>(reason)});
+  };
+
   // MakeReservation (Algorithm 1 lines 13-23) for one flow at the current
   // instant t. Returns the flow's next wakeup: kTimeInf when its demand is
   // finished, its own reservation end when the reservation was truncated,
@@ -227,7 +272,20 @@ Time SunflowPlanner::ScheduleOne(const PlanRequest& request,
     const FlowDemand& f = ordered[idx];
     const Time in_busy = prt_.InputBusyUntil(f.src, t);
     const Time out_busy = prt_.OutputBusyUntil(f.dst, t);
-    if (in_busy > t || out_busy > t) return std::max(in_busy, out_busy);
+    if (in_busy > t || out_busy > t) {
+      if (sink_ != nullptr) {
+        // Blame the port whose release is the binding constraint (the
+        // later of the two busy-until instants — that is the wakeup).
+        const bool input =
+            in_busy > t && (out_busy <= t || in_busy >= out_busy);
+        note_blocked(idx, f,
+                     input ? obs::BlockReason::kInputPortBusy
+                           : obs::BlockReason::kOutputPortBusy,
+                     input ? prt_.InputOwnerAt(f.src, t)
+                           : prt_.OutputOwnerAt(f.dst, t));
+      }
+      return std::max(in_busy, out_busy);
+    }
     // Setup is free when this pair is already an established circuit and
     // the reservation begins at the instant the circuit was observed up.
     Time setup = delta;
@@ -239,12 +297,19 @@ Time SunflowPlanner::ScheduleOne(const PlanRequest& request,
     const Time lm = tm - t;  // max length before blocking a prior reservation
     const Time ld = setup + remaining[idx];  // desired length
     // A reservation of length <= setup would transmit nothing: skip.
-    if (lm <= setup + kTimeEps) return tm_release;
+    if (lm <= setup + kTimeEps) {
+      if (sink_ != nullptr) {
+        note_blocked(idx, f, obs::BlockReason::kCircuitConflict,
+                     prt_.NextOwnerAfter(f.src, f.dst, t));
+      }
+      return tm_release;
+    }
     const Time l = std::min(lm, ld);
     const CircuitReservation reservation{f.src, f.dst, t, t + l, setup,
                                          request.coflow};
     prt_.Reserve(reservation);
     ++reservations_made;
+    close_episode(idx, f);
     if (callback_) callback_(reservation);
     obs::Emit(sink_, {.type = obs::EventType::kCircuitSetup,
                       .t = reservation.start,
@@ -328,9 +393,61 @@ Time SunflowPlanner::ScheduleOneRescan(const PlanRequest& request,
   Time t = request.start;
   int reservations_made = 0;
 
+  // Blocked-episode tracking, trace emission only — the rescan analogue of
+  // ScheduleOne's per-index vectors, keyed by port pair because `pending`
+  // is compacted in place. Same episode semantics: close + reopen when the
+  // blocking cause changes, close on acquisition.
+  struct BlockEpisode {
+    Time since = 0;
+    obs::BlockReason reason = obs::BlockReason::kInputPortBusy;
+    CoflowId blamer = -1;
+  };
+  std::map<std::pair<PortId, PortId>, BlockEpisode> episodes;
+  auto close_episode = [&](const FlowDemand& f) {
+    const auto it = episodes.find({f.src, f.dst});
+    if (it == episodes.end()) return;
+    obs::Emit(sink_, {.type = obs::EventType::kFlowUnblocked,
+                      .t = t,
+                      .dur = t - it->second.since,
+                      .coflow = request.coflow,
+                      .in = f.src,
+                      .out = f.dst,
+                      .value = static_cast<double>(it->second.blamer),
+                      .count = static_cast<std::int64_t>(it->second.reason)});
+    episodes.erase(it);
+  };
+  auto note_blocked = [&](const FlowDemand& f, obs::BlockReason reason,
+                          CoflowId blamer) {
+    const auto it = episodes.find({f.src, f.dst});
+    if (it != episodes.end() && it->second.reason == reason &&
+        it->second.blamer == blamer) {
+      return;  // same cause still in the way: the episode continues
+    }
+    close_episode(f);
+    episodes[{f.src, f.dst}] = {t, reason, blamer};
+    obs::Emit(sink_, {.type = obs::EventType::kFlowBlocked,
+                      .t = t,
+                      .coflow = request.coflow,
+                      .in = f.src,
+                      .out = f.dst,
+                      .value = static_cast<double>(blamer),
+                      .count = static_cast<std::int64_t>(reason)});
+  };
+
   // MakeReservation (Algorithm 1 lines 13-23). Returns remaining demand.
   auto make_reservation = [&](const FlowDemand& f) -> Time {
     if (!prt_.InputFreeAt(f.src, t) || !prt_.OutputFreeAt(f.dst, t)) {
+      if (sink_ != nullptr) {
+        const Time in_busy = prt_.InputBusyUntil(f.src, t);
+        const Time out_busy = prt_.OutputBusyUntil(f.dst, t);
+        const bool input =
+            in_busy > t && (out_busy <= t || in_busy >= out_busy);
+        note_blocked(f,
+                     input ? obs::BlockReason::kInputPortBusy
+                           : obs::BlockReason::kOutputPortBusy,
+                     input ? prt_.InputOwnerAt(f.src, t)
+                           : prt_.OutputOwnerAt(f.dst, t));
+      }
       return f.processing;
     }
     // Setup is free when this pair is already an established circuit and
@@ -344,12 +461,19 @@ Time SunflowPlanner::ScheduleOneRescan(const PlanRequest& request,
     const Time lm = tm - t;  // max length before blocking a prior reservation
     const Time ld = setup + f.processing;  // desired length
     // A reservation of length <= setup would transmit nothing: skip.
-    if (lm <= setup + kTimeEps) return f.processing;
+    if (lm <= setup + kTimeEps) {
+      if (sink_ != nullptr) {
+        note_blocked(f, obs::BlockReason::kCircuitConflict,
+                     prt_.NextOwnerAfter(f.src, f.dst, t));
+      }
+      return f.processing;
+    }
     const Time l = std::min(lm, ld);
     const CircuitReservation reservation{f.src, f.dst, t, t + l, setup,
                                          request.coflow};
     prt_.Reserve(reservation);
     ++reservations_made;
+    if (sink_ != nullptr) close_episode(f);
     if (callback_) callback_(reservation);
     obs::Emit(sink_, {.type = obs::EventType::kCircuitSetup,
                       .t = reservation.start,

@@ -137,6 +137,32 @@ void WriteChromeTrace(std::ostream& out, std::span<const Event> events,
         w.Record(name.str(), 'X', Micros(e.t), kSchedulerPid, kStarvationTid,
                  DurArgs(Micros(e.dur), args.str()));
         break;
+      case EventType::kFlowBlocked:
+        // Only the closing kFlowUnblocked knows the span length; the open
+        // marker renders as an instant so half-open episodes (truncated
+        // traces) still show up.
+        if (!options.coflow_tracks) break;
+        coflows.insert(e.coflow);
+        name << "blocked " << e.in << "->" << e.out << " ("
+             << ToString(static_cast<BlockReason>(e.count)) << ")";
+        args << "\"blamer\":" << static_cast<long long>(e.value)
+             << ",\"reason\":\""
+             << ToString(static_cast<BlockReason>(e.count)) << "\"";
+        w.Record(name.str(), 'i', Micros(e.t), kCoflowsPid, e.coflow,
+                 ",\"s\":\"t\"" + Args(args.str()));
+        break;
+      case EventType::kFlowUnblocked:
+        if (!options.coflow_tracks) break;
+        coflows.insert(e.coflow);
+        name << "wait " << e.in << "->" << e.out << " ("
+             << ToString(static_cast<BlockReason>(e.count)) << ")";
+        args << "\"blamer\":" << static_cast<long long>(e.value)
+             << ",\"reason\":\""
+             << ToString(static_cast<BlockReason>(e.count)) << "\"";
+        // The episode as a span: [t − dur, t] on the coflow's track.
+        w.Record(name.str(), 'X', Micros(e.t - e.dur), kCoflowsPid, e.coflow,
+                 DurArgs(Micros(e.dur), args.str()));
+        break;
     }
   }
 

@@ -18,6 +18,24 @@ const char* ToString(EventType type) {
       return "StarvationRound";
     case EventType::kFlowFinished:
       return "FlowFinished";
+    case EventType::kFlowBlocked:
+      return "FlowBlocked";
+    case EventType::kFlowUnblocked:
+      return "FlowUnblocked";
+  }
+  return "?";
+}
+
+const char* ToString(BlockReason reason) {
+  switch (reason) {
+    case BlockReason::kInputPortBusy:
+      return "input-port-busy";
+    case BlockReason::kOutputPortBusy:
+      return "output-port-busy";
+    case BlockReason::kCircuitConflict:
+      return "circuit-conflict";
+    case BlockReason::kStarvationHold:
+      return "starvation-hold";
   }
   return "?";
 }

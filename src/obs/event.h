@@ -35,9 +35,27 @@ enum class EventType : std::uint8_t {
   kStarvationRound,
   /// The flow (coflow, in, out) finished its last byte at t.
   kFlowFinished,
+  /// The flow (coflow, in, out) wanted a circuit at t but could not get
+  /// one. value = the blaming coflow id (the owner of the reservation in
+  /// the way; -1 when no single owner, e.g. a starvation-guard hold),
+  /// count = the BlockReason.
+  kFlowBlocked,
+  /// The flow (coflow, in, out) blocked since t - dur acquired its circuit
+  /// at t. dur = length of the blocked episode, value/count mirror the
+  /// matching kFlowBlocked so either end of the pair is self-contained.
+  kFlowUnblocked,
 };
 
-inline constexpr int kNumEventTypes = 7;
+inline constexpr int kNumEventTypes = 9;
+
+/// Why a flow could not reserve a circuit (kFlowBlocked/kFlowUnblocked
+/// `count` payload). Values are stable — they appear in JSONL traces.
+enum class BlockReason : std::int64_t {
+  kInputPortBusy = 0,    ///< another reservation holds the input port
+  kOutputPortBusy = 1,   ///< another reservation holds the output port
+  kCircuitConflict = 2,  ///< gap before the next reservation is < δ + ε
+  kStarvationHold = 3,   ///< a starvation-guard τ span has the fabric
+};
 
 /// One trace record. Unused fields keep their defaults; which fields are
 /// meaningful depends on `type` (see EventType comments).
@@ -55,6 +73,7 @@ struct Event {
 };
 
 const char* ToString(EventType type);
+const char* ToString(BlockReason reason);
 
 /// Parses the ToString spelling; returns false on unknown names.
 bool EventTypeFromString(std::string_view name, EventType& out);

@@ -196,23 +196,33 @@ RunManifest RunManifest::FromJson(const JsonValue& json) {
     m.extra[key] = value.AsNumber();
   }
 
-  const JsonValue& prof = json.at("profile");
-  for (const auto& [name, p] : prof.at("phases").AsObject()) {
-    ProfileRow row;
-    row.name = name;
-    row.stats.count = static_cast<std::uint64_t>(p.at("count").AsNumber());
-    row.stats.total_ns = p.at("total_ns").AsNumber();
-    row.stats.self_ns = p.at("self_ns").AsNumber();
-    row.stats.max_ns = p.at("max_ns").AsNumber();
-    m.profile.push_back(std::move(row));
+  // The profile and metrics blocks are optional on read: manifests written
+  // by stripped-down producers (or hand-built fixtures) may omit them, and
+  // a reader that throws here can surface nothing at all. Consumers see
+  // empty profile/metrics and degrade on their own terms.
+  if (const JsonValue* prof = json.Find("profile")) {
+    if (const JsonValue* phases = prof->Find("phases")) {
+      for (const auto& [name, p] : phases->AsObject()) {
+        ProfileRow row;
+        row.name = name;
+        row.stats.count = static_cast<std::uint64_t>(p.at("count").AsNumber());
+        row.stats.total_ns = p.at("total_ns").AsNumber();
+        row.stats.self_ns = p.at("self_ns").AsNumber();
+        row.stats.max_ns = p.at("max_ns").AsNumber();
+        m.profile.push_back(std::move(row));
+      }
+    }
+    if (const JsonValue* overhead = prof->Find("overhead")) {
+      m.profile_scopes =
+          static_cast<std::uint64_t>(overhead->at("scopes").AsNumber());
+      m.profile_ns_per_scope = overhead->at("ns_per_scope").AsNumber();
+      m.profile_overhead_fraction = overhead->at("fraction").AsNumber();
+    }
   }
-  const JsonValue& overhead = prof.at("overhead");
-  m.profile_scopes =
-      static_cast<std::uint64_t>(overhead.at("scopes").AsNumber());
-  m.profile_ns_per_scope = overhead.at("ns_per_scope").AsNumber();
-  m.profile_overhead_fraction = overhead.at("fraction").AsNumber();
 
-  for (const auto& [name, v] : json.at("metrics").AsObject()) {
+  const JsonValue* metrics_block = json.Find("metrics");
+  if (metrics_block == nullptr) return m;
+  for (const auto& [name, v] : metrics_block->AsObject()) {
     MetricRow row;
     row.name = name;
     row.kind = v.at("kind").AsString();

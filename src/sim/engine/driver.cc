@@ -59,8 +59,12 @@ void ReplayDriver::AdmitDue(ScenarioPolicy& scenario, Time t) {
     scenario.OnAdmit(sc, coflow, t);
     const CoflowId id = sc.id;
     state_.active().push_back(std::move(sc));
+    // dur carries the admission queueing wait (admit instant minus release
+    // instant — positive when the replan throttle queued the release), the
+    // pre-admission component of the CCT decomposition.
     obs::Emit(state_.sink(), {.type = obs::EventType::kCoflowAdmitted,
                               .t = std::max(t, entry.t),
+                              .dur = std::max(0.0, t - entry.t),
                               .coflow = id});
   }
 }
@@ -115,13 +119,16 @@ void ReplayDriver::EmitExecutedPlan(const SunflowSchedule& plan,
   for (const auto& r : plan.reservations) {
     if (r.start >= t_next - kTimeEps) continue;
     const Time end = std::min(r.end, t_next);
+    if (end - r.start <= kTimeEps) continue;  // superseded at birth
+    // A reservation cut off by the replan may have spent only part of its
+    // δ before being abandoned; the span records what physically ran.
     obs::Emit(state_.sink(), {.type = obs::EventType::kCircuitSetup,
                               .t = r.start,
                               .dur = end - r.start,
                               .coflow = r.coflow,
                               .in = r.in,
                               .out = r.out,
-                              .value = r.setup});
+                              .value = std::min(r.setup, end - r.start)});
     if (r.end <= t_next + kTimeEps) {
       obs::Emit(state_.sink(), {.type = obs::EventType::kCircuitTeardown,
                                 .t = r.end,
@@ -147,6 +154,64 @@ void ReplayDriver::EmitFlowFinished(Time t, CoflowId coflow, PortId in,
                             .coflow = coflow,
                             .in = in,
                             .out = out});
+}
+
+void ReplayDriver::EmitBlockedSpan(Time t, Time t_next, CoflowId coflow,
+                                   PortId in, PortId out,
+                                   obs::BlockReason reason, CoflowId blamer) {
+  obs::Emit(state_.sink(), {.type = obs::EventType::kFlowBlocked,
+                            .t = t,
+                            .coflow = coflow,
+                            .in = in,
+                            .out = out,
+                            .value = static_cast<double>(blamer),
+                            .count = static_cast<std::int64_t>(reason)});
+  obs::Emit(state_.sink(), {.type = obs::EventType::kFlowUnblocked,
+                            .t = t_next,
+                            .dur = t_next - t,
+                            .coflow = coflow,
+                            .in = in,
+                            .out = out,
+                            .value = static_cast<double>(blamer),
+                            .count = static_cast<std::int64_t>(reason)});
+}
+
+void ReplayDriver::EmitBlockedSpans(const SunflowSchedule& plan, Time t,
+                                    Time t_next) {
+  if (state_.sink() == nullptr || t_next <= t + kTimeEps) return;
+  for (const auto& sc : state_.active()) {
+    for (const auto& [pair, bytes] : sc.remaining) {
+      if (bytes <= kBytesEps) continue;
+      // Was this flow's circuit up at any point in the span? If so its
+      // wait, if any, is sub-span and the planner's own episode events
+      // (when planning traced) carry the detail; the driver only derives
+      // whole-span blocks.
+      bool served = false;
+      const CircuitReservation* in_blocker = nullptr;
+      const CircuitReservation* out_blocker = nullptr;
+      for (const auto& r : plan.reservations) {
+        if (r.start >= t_next - kTimeEps || r.end <= t + kTimeEps) continue;
+        if (r.coflow == sc.id && r.in == pair.first && r.out == pair.second) {
+          served = true;
+          break;
+        }
+        if (r.in == pair.first && in_blocker == nullptr) in_blocker = &r;
+        if (r.out == pair.second && out_blocker == nullptr) out_blocker = &r;
+      }
+      if (served) continue;
+      obs::BlockReason reason = obs::BlockReason::kCircuitConflict;
+      CoflowId blamer = -1;
+      if (in_blocker != nullptr) {
+        reason = obs::BlockReason::kInputPortBusy;
+        blamer = in_blocker->coflow;
+      } else if (out_blocker != nullptr) {
+        reason = obs::BlockReason::kOutputPortBusy;
+        blamer = out_blocker->coflow;
+      }
+      EmitBlockedSpan(t, t_next, sc.id, pair.first, pair.second, reason,
+                      blamer);
+    }
+  }
 }
 
 EngineResult RunScenarioReplay(const Trace& trace, ScenarioPolicy& scenario,

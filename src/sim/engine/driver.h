@@ -15,6 +15,7 @@
 #pragma once
 
 #include "core/sunflow.h"
+#include "obs/event.h"
 #include "sim/engine/scenario.h"
 #include "sim/engine/state.h"
 
@@ -53,6 +54,20 @@ class ReplayDriver {
 
   /// A flow drained to zero at `t` on circuit (in → out).
   void EmitFlowFinished(Time t, CoflowId coflow, PortId in, PortId out);
+
+  /// A flow held for the whole span [t, t_next) with no circuit: one
+  /// kFlowBlocked at t plus the matching kFlowUnblocked at t_next
+  /// (dur = span length). Scenarios use this for spans whose blocking
+  /// cause they know directly (the starvation guard's τ hold).
+  void EmitBlockedSpan(Time t, Time t_next, CoflowId coflow, PortId in,
+                       PortId out, obs::BlockReason reason, CoflowId blamer);
+
+  /// Derives blocked spans from an executed plan: every pending flow of
+  /// the active set that got no circuit time in [t, t_next) is blocked for
+  /// the span, blamed on the owner of an overlapping reservation on its
+  /// input (then output) port. Call after ExecutePlanSpan so `remaining`
+  /// reflects the drain — a flow that finished in the span is not blocked.
+  void EmitBlockedSpans(const SunflowSchedule& plan, Time t, Time t_next);
 
  private:
   void AdmitDue(ScenarioPolicy& scenario, Time t);

@@ -262,6 +262,7 @@ class CircuitScenario final : public ScenarioPolicy {
     ExecutePlanSpan(driver, active, plan, t, t_next,
                     config_.sunflow.bandwidth, DrainRule::kCircuitDust);
     driver.EmitExecutedPlan(plan, t, t_next);
+    driver.EmitBlockedSpans(plan, t, t_next);
 
     // Circuits up at the replan instant (for carry-over).
     established_.clear();
@@ -337,6 +338,7 @@ class GuardScenario final : public ScenarioPolicy {
       ExecutePlanSpan(driver, active, plan, t, t_next, bandwidth,
                       DrainRule::kExactFinish);
       driver.EmitExecutedPlan(plan, t, t_next);
+      driver.EmitBlockedSpans(plan, t, t_next);
       return t_next;
     }
 
@@ -365,6 +367,18 @@ class GuardScenario final : public ScenarioPolicy {
         DrainEqualShare(flows, transmit_begin, t_next, bandwidth, driver, i,
                         j);
         for (auto& f : flows) f.first->NoteService(transmit_begin, t_next);
+      }
+    }
+    // Flows off the fixed assignment A_k are held by the guard for the
+    // whole τ span (no single blaming coflow — the guard owns the fabric).
+    if (s.sink() != nullptr && t_next > t + kTimeEps) {
+      for (const auto& sc : active) {
+        for (const auto& [pair, bytes] : sc.remaining) {
+          if (bytes <= kBytesEps) continue;
+          if (phi_.OutputOf(k, pair.first) == pair.second) continue;
+          driver.EmitBlockedSpan(t, t_next, sc.id, pair.first, pair.second,
+                                 obs::BlockReason::kStarvationHold, -1);
+        }
       }
     }
     return t_next;

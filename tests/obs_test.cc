@@ -250,6 +250,36 @@ TEST(ObsJsonl, RoundTripsAllFields) {
   }
 }
 
+TEST(ObsJsonl, BlockedPairRoundTripsReasonAndBlamer) {
+  // A full blocked episode: value carries the blaming coflow, count the
+  // BlockReason, and the closing event's dur spans back to the opener.
+  std::vector<Event> events = {
+      {.type = EventType::kFlowBlocked, .t = 1.5, .coflow = 4, .in = 2,
+       .out = 9,
+       .value = static_cast<double>(7),
+       .count = static_cast<std::int64_t>(obs::BlockReason::kInputPortBusy)},
+      {.type = EventType::kFlowUnblocked, .t = 2.25, .dur = 0.75, .coflow = 4,
+       .in = 2, .out = 9,
+       .value = static_cast<double>(7),
+       .count = static_cast<std::int64_t>(obs::BlockReason::kInputPortBusy)},
+      {.type = EventType::kFlowBlocked, .t = 3.0, .coflow = 4, .in = 2,
+       .out = 9, .value = -1.0,
+       .count = static_cast<std::int64_t>(obs::BlockReason::kStarvationHold)},
+  };
+  std::ostringstream out;
+  obs::WriteJsonl(out, events);
+  std::istringstream in(out.str());
+  const auto back = obs::ReadJsonl(in);
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back[i], events[i]) << "event " << i << ":\n" << out.str();
+  }
+  EXPECT_EQ(static_cast<obs::BlockReason>(back[0].count),
+            obs::BlockReason::kInputPortBusy);
+  EXPECT_EQ(static_cast<CoflowId>(back[1].value), 7);
+  EXPECT_DOUBLE_EQ(back[1].t - back[1].dur, back[0].t);
+}
+
 TEST(ObsJsonl, SkipsBlankLinesAndReportsBadLines) {
   std::istringstream ok("\n{\"type\":\"CircuitSetup\",\"t\":1}\n\n");
   const auto events = obs::ReadJsonl(ok);
@@ -298,6 +328,29 @@ TEST(ObsChromeTrace, EmitsValidJson) {
   EXPECT_NE(json.find("scheduler"), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("110000"), std::string::npos);  // 0.11 s -> 110000 us
+}
+
+TEST(ObsChromeTrace, BlockedEpisodeRendersSpanOnCoflowTrack) {
+  std::vector<Event> events = {
+      {.type = EventType::kFlowBlocked, .t = 0.1, .coflow = 3, .in = 1,
+       .out = 2, .value = 8.0,
+       .count = static_cast<std::int64_t>(obs::BlockReason::kOutputPortBusy)},
+      {.type = EventType::kFlowUnblocked, .t = 0.4, .dur = 0.3, .coflow = 3,
+       .in = 1, .out = 2, .value = 8.0,
+       .count = static_cast<std::int64_t>(obs::BlockReason::kOutputPortBusy)},
+  };
+  std::ostringstream out;
+  obs::WriteChromeTrace(out, events);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // The opener is an instant marker; the closer renders the whole episode
+  // as a 300000 us slice starting at t - dur = 100000 us, both carrying
+  // the blamer and the reason so Perfetto tooltips explain the wait.
+  EXPECT_NE(json.find("blocked 1->2"), std::string::npos) << json;
+  EXPECT_NE(json.find("wait 1->2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"blamer\":8"), std::string::npos) << json;
+  EXPECT_NE(json.find("output-port-busy"), std::string::npos) << json;
+  EXPECT_NE(json.find("300000"), std::string::npos) << json;
 }
 
 TEST(ObsChromeTrace, TrackSelectionAndEmptyInput) {

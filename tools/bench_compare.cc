@@ -55,9 +55,13 @@ double MedianOf(const JsonValue& v) {
 
 // Flattens the comparable metrics of one result file into name → Metric.
 // Names are namespaced (wall_ns, phase.<name>.total_ns, extra.<key>) so
-// the two schemas land on identical keys.
-std::map<std::string, Metric> ExtractMetrics(const JsonValue& doc,
-                                             const std::string& path) {
+// the two schemas land on identical keys. Extras without a "per_sec" rate
+// direction (attr.* fractions, best_speedup, ...) go to `info` when given:
+// they print side by side but never gate — a shift in, say, the δ share of
+// CCT is a question for a human, not a pass/fail signal.
+std::map<std::string, Metric> ExtractMetrics(
+    const JsonValue& doc, const std::string& path,
+    std::map<std::string, double>* info = nullptr) {
   const JsonValue* schema = doc.Find("schema");
   if (schema == nullptr || !schema->is_string()) {
     throw std::runtime_error(path + ": missing \"schema\"");
@@ -106,6 +110,9 @@ std::map<std::string, Metric> ExtractMetrics(const JsonValue& doc,
     for (const auto& [name, v] : extra->AsObject()) {
       if (name.find("per_sec") != std::string::npos) {
         out["extra." + name] = {MedianOf(v), true};
+      } else if (info != nullptr && name != "seed" && name != "threads" &&
+                 name != "wall_ns" && name != "peak_rss_kb") {
+        (*info)["extra." + name] = MedianOf(v);
       }
     }
   }
@@ -142,10 +149,12 @@ int main(int argc, char** argv) {
   }
 
   std::map<std::string, Metric> base, cand;
+  std::map<std::string, double> base_info, cand_info;
   try {
-    base = ExtractMetrics(JsonValue::ParseFile(baseline_path), baseline_path);
+    base = ExtractMetrics(JsonValue::ParseFile(baseline_path), baseline_path,
+                          &base_info);
     cand = ExtractMetrics(JsonValue::ParseFile(candidate_path),
-                          candidate_path);
+                          candidate_path, &cand_info);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
@@ -192,9 +201,21 @@ int main(int argc, char** argv) {
       table.AddRow({name, "-", FmtValue(name, c.value), "-", "new"});
     }
   }
+  // Informational extras: shown for the record, never counted or gated.
+  for (const auto& [name, b] : base_info) {
+    const auto it = cand_info.find(name);
+    table.AddRow({name, FmtValue(name, b),
+                  it == cand_info.end() ? "-" : FmtValue(name, it->second),
+                  "-", "info"});
+  }
+  for (const auto& [name, c] : cand_info) {
+    if (base_info.find(name) == base_info.end()) {
+      table.AddRow({name, "-", FmtValue(name, c), "-", "info"});
+    }
+  }
   table.AddFootnote("threshold " + TextTable::FmtPct(threshold, 0) +
                     ", phases under " + TextTable::Fmt(min_phase_ms, 1) +
-                    " ms skipped");
+                    " ms skipped; \"info\" rows never gate");
   table.Print(std::cout);
 
   if (compared == 0) {

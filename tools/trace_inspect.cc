@@ -9,22 +9,33 @@
 //
 // Usage:
 //   sunflow_trace_inspect --trace=run.jsonl [--top=20] [--csv]
+//   sunflow_trace_inspect --trace=run.jsonl --attribution [--csv]
+//   sunflow_trace_inspect --trace=run.jsonl --audit [--manifest=...]
 //   sunflow_trace_inspect --manifest=run.manifest.json
 //
 // --csv switches the per-coflow section to machine-readable CSV on stdout.
-// --manifest inspects a run manifest instead of an event trace: it prints
-// the plan-cache counters (plan.cache_hits / plan.cache_misses) and each
-// profiled phase's share of total self time, the two numbers the planner
-// perf work is judged by.
+// --attribution decomposes every coflow's CCT into additive causal
+// components (obs/attribution.h) and prints the critical path of the
+// largest coflow. --audit verifies the physical invariants of
+// obs/audit.h and exits 1 on any violation; combined with --manifest it
+// also cross-checks the δ-paying setup count against the producer's
+// executor.circuit_setups metric.
+// --manifest alone inspects a run manifest instead of an event trace: it
+// prints the plan-cache counters (plan.cache_hits / plan.cache_misses) and
+// each profiled phase's share of total self time, the two numbers the
+// planner perf work is judged by.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/attribution.h"
+#include "obs/audit.h"
 #include "obs/jsonl.h"
 #include "obs/manifest.h"
 
@@ -92,7 +103,10 @@ int InspectManifest(const std::string& path) {
   double total_self = 0;
   for (const obs::ProfileRow& r : m.profile) total_self += r.stats.self_ns;
   if (m.profile.empty()) {
-    std::printf("no profiled phases recorded\n");
+    std::printf(
+        "no profile block in this manifest (the producing run was built "
+        "without profiling or wrote a reduced manifest) — phase table "
+        "skipped\n");
     return 0;
   }
   std::vector<obs::ProfileRow> rows = m.profile;
@@ -115,6 +129,121 @@ int InspectManifest(const std::string& path) {
   return 0;
 }
 
+// --attribution mode: the causal CCT decomposition of obs/attribution.h.
+int RunAttribution(const std::vector<Event>& events, bool csv,
+                   std::size_t top) {
+  const obs::AttributionReport report = obs::Attribute(events);
+  if (report.coflows.empty()) {
+    std::cerr << "error: no completed coflows in the trace — nothing to "
+                 "attribute (was the trace produced with admissions and "
+                 "completions enabled?)\n";
+    return 1;
+  }
+
+  if (csv) {
+    std::printf(
+        "coflow,cct_s,pre_admission_s,delta_s,contention_s,starvation_s,"
+        "transmit_s,unattributed_s,sum_s,residual_s,top_blamer,"
+        "top_blamer_s,planner_ns\n");
+    for (const obs::CoflowAttribution& a : report.coflows) {
+      const Time sum = a.Sum();
+      const CoflowId top_blamer =
+          a.by_blamer.empty() ? -1 : a.by_blamer.front().blamer;
+      const Time top_blamer_s =
+          a.by_blamer.empty() ? 0 : a.by_blamer.front().seconds;
+      std::printf("%lld,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.3g,%lld,"
+                  "%.9g,%.9g\n",
+                  static_cast<long long>(a.coflow), a.cct, a.pre_admission,
+                  a.delta, a.contention, a.starvation_hold, a.transmit,
+                  a.unattributed, sum, a.cct - sum,
+                  static_cast<long long>(top_blamer), top_blamer_s,
+                  a.planner_compute_ns);
+    }
+    return 0;
+  }
+
+  TextTable table("CCT attribution (top " +
+                  std::to_string(std::min(top, report.coflows.size())) +
+                  " by CCT; components sum to the measured CCT)");
+  table.SetHeader({"coflow", "cct_s", "wait_s", "delta_s", "contend_s",
+                   "hold_s", "transmit_s", "unattr_s", "top blamer"});
+  for (std::size_t i = 0; i < report.coflows.size() && i < top; ++i) {
+    const obs::CoflowAttribution& a = report.coflows[i];
+    std::string blamer = "-";
+    if (!a.by_blamer.empty()) {
+      blamer = std::to_string(a.by_blamer.front().blamer) + " (" +
+               TextTable::Fmt(a.by_blamer.front().seconds, 4) + " s)";
+    }
+    table.AddRow({std::to_string(a.coflow), TextTable::Fmt(a.cct, 4),
+                  TextTable::Fmt(a.pre_admission, 4),
+                  TextTable::Fmt(a.delta, 4),
+                  TextTable::Fmt(a.contention, 4),
+                  TextTable::Fmt(a.starvation_hold, 4),
+                  TextTable::Fmt(a.transmit, 4),
+                  TextTable::Fmt(a.unattributed, 4), blamer});
+  }
+  table.AddFootnote(
+      "aggregate shares of " + TextTable::Fmt(report.total_cct, 4) +
+      " s total CCT: wait " +
+      TextTable::FmtPct(report.pre_admission_fraction, 1) + ", delta " +
+      TextTable::FmtPct(report.delta_fraction, 1) + ", contention " +
+      TextTable::FmtPct(report.contention_fraction, 1) + ", hold " +
+      TextTable::FmtPct(report.starvation_fraction, 1) + ", transmit " +
+      TextTable::FmtPct(report.transmit_fraction, 1) + ", unattributed " +
+      TextTable::FmtPct(report.unattributed_fraction, 1));
+  table.Print(std::cout);
+
+  std::printf("\ncritical path of coflow %lld (completion first):\n",
+              static_cast<long long>(report.critical_coflow));
+  for (const obs::CriticalPathStep& s : report.critical_path) {
+    std::printf("  %-8s [%.6f, %.6f] (%.6f s)",
+                obs::ToString(s.kind), s.begin, s.end, s.end - s.begin);
+    if (s.in >= 0) std::printf("  flow %lld->%lld",
+                               static_cast<long long>(s.in),
+                               static_cast<long long>(s.out));
+    if (s.kind == obs::CriticalPathStep::Kind::kBlocked) {
+      std::printf("  behind coflow %lld (%s)",
+                  static_cast<long long>(s.blamer), obs::ToString(s.reason));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+// --audit mode: physical-invariant verification, nonzero exit on any
+// violation so CI can gate on it.
+int RunAudit(const std::vector<Event>& events,
+             const std::string& manifest_path, obs::AuditScope scope) {
+  long long expected_setups = -1;
+  if (!manifest_path.empty()) {
+    try {
+      const obs::RunManifest m =
+          obs::RunManifest::FromJson(obs::JsonValue::ParseFile(manifest_path));
+      for (const obs::MetricRow& r : m.metrics) {
+        if (r.name == "executor.circuit_setups") {
+          expected_setups = static_cast<long long>(r.value);
+        }
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  const obs::AuditReport report =
+      obs::AuditTrace(events, expected_setups, scope);
+  std::printf("audit: %zu events, %zu checks, %zu violation(s)\n",
+              report.events, report.checks, report.violations.size());
+  for (const obs::AuditViolation& v : report.violations) {
+    std::printf("  [%s] %s\n", v.invariant.c_str(), v.detail.c_str());
+  }
+  if (!report.ok()) {
+    std::printf("audit FAILED\n");
+    return 1;
+  }
+  std::printf("audit passed\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,14 +257,27 @@ int main(int argc, char** argv) {
   const std::string manifest_path = flags.GetString(
       "manifest", "",
       "run manifest JSON to inspect instead of a trace: prints the "
-      "plan-cache counters and per-phase self-time shares");
+      "plan-cache counters and per-phase self-time shares (with --audit: "
+      "cross-checks the trace's setup count against its metrics)");
+  const bool attribution = flags.GetBool(
+      "attribution", false,
+      "decompose each coflow's CCT into causal components (with --csv for "
+      "machine-readable rows) and print the largest coflow's critical path");
+  const bool do_audit = flags.GetBool(
+      "audit", false,
+      "verify the trace's physical invariants; exit 1 on any violation");
+  const std::string audit_scope = flags.GetString(
+      "audit_scope", "fabric",
+      "\"fabric\" = one shared timeline (engine replays, strict); "
+      "\"coflow\" = concatenated standalone replays (intra benches), "
+      "fabric checks keyed per coflow lifecycle");
   if (flags.help_requested() || (path.empty() && manifest_path.empty())) {
     flags.PrintHelp("Summarize a Sunflow JSONL event trace or run manifest");
     return path.empty() && manifest_path.empty() && !flags.help_requested()
                ? 2
                : 0;
   }
-  if (!manifest_path.empty()) return InspectManifest(manifest_path);
+  if (path.empty()) return InspectManifest(manifest_path);
 
   std::vector<Event> events;
   try {
@@ -144,6 +286,16 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
+  if (do_audit) {
+    if (audit_scope != "fabric" && audit_scope != "coflow") {
+      std::cerr << "error: --audit_scope must be \"fabric\" or \"coflow\"\n";
+      return 2;
+    }
+    return RunAudit(events, manifest_path,
+                    audit_scope == "coflow" ? obs::AuditScope::kPerCoflow
+                                            : obs::AuditScope::kSharedFabric);
+  }
+  if (attribution && !events.empty()) return RunAttribution(events, csv, top);
 
   std::map<EventType, std::size_t> type_counts;
   std::map<CoflowId, CoflowStats> coflows;
@@ -151,6 +303,8 @@ int main(int argc, char** argv) {
   std::vector<double> compute_ns;
   Time t_min = kTimeInf, t_max = 0;
   int starvation_rounds = 0;
+  Time blocked_seconds = 0;
+  int blocked_episodes = 0;
 
   for (const Event& e : events) {
     ++type_counts[e.type];
@@ -189,6 +343,12 @@ int main(int argc, char** argv) {
         break;
       case EventType::kFlowFinished:
         ++coflows[e.coflow].flows_finished;
+        break;
+      case EventType::kFlowBlocked:
+        break;  // only the closing event carries the span
+      case EventType::kFlowUnblocked:
+        blocked_seconds += e.dur;
+        ++blocked_episodes;
         break;
     }
   }
@@ -243,6 +403,12 @@ int main(int argc, char** argv) {
   }
   if (starvation_rounds > 0) {
     std::printf("starvation-guard rounds: %d\n", starvation_rounds);
+  }
+  if (blocked_episodes > 0) {
+    std::printf(
+        "blocked episodes: %d totaling %.6f s (see --attribution for the "
+        "per-coflow, per-blamer breakdown)\n",
+        blocked_episodes, blocked_seconds);
   }
 
   // Per-coflow Gantt stats, largest CCT first.
