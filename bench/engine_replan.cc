@@ -6,7 +6,10 @@
 // carries the phase breakdown (engine.plan / engine.execute / ...), so
 // one run yields everything a regression dashboard needs.
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -14,6 +17,7 @@
 #include "common/table.h"
 #include "core/policy.h"
 #include "obs/metrics.h"
+#include "runtime/thread_pool.h"
 #include "sim/engine/scenario.h"
 #include "trace/generator.h"
 
@@ -27,6 +31,20 @@ std::vector<int> ParseIntList(const std::string& csv) {
     if (!item.empty()) out.push_back(std::stoi(item));
   }
   return out;
+}
+
+// Full-precision CCT dump, one "<label> <coflow> <cct>" line per coflow in
+// id order. Wall-clock never enters the file, so two runs of the same
+// workload must produce byte-identical dumps at any --threads value — the
+// determinism contract CI enforces by diffing --threads=1 against
+// --threads=8.
+void DumpCcts(std::ofstream& out, const std::string& label,
+              const std::map<sunflow::CoflowId, sunflow::Time>& cct) {
+  char buf[64];
+  for (const auto& [id, t] : cct) {
+    std::snprintf(buf, sizeof(buf), "%.17g", t);
+    out << label << " " << id << " " << buf << "\n";
+  }
 }
 
 }  // namespace
@@ -45,12 +63,29 @@ int main(int argc, char** argv) {
       "comma-separated coflow counts (e.g. 20,40,80,160): additionally "
       "replay a regenerated synthetic workload at each count and record "
       "sweep.N<k>.replans_per_sec in the manifest");
+  const std::string cct_out = session.flags().GetString(
+      "cct_out", "",
+      "write per-coflow CCTs (full precision, deterministic order) to this "
+      "file; byte-identical across --threads values");
   if (session.done()) return 0;
   const bench::Workload& w = session.workload();
   const std::string& engine_name = session.engine();
 
   const auto policy = MakeShortestFirstPolicy();
+  // The pool drives intra-replan group planning (scenario plan_pool);
+  // --threads=1 exercises the serial fallback.
+  runtime::ThreadPool pool(session.threads());
   engine::EngineConfig ec;
+  ec.plan_pool = &pool;
+
+  std::ofstream cct_file;
+  if (!cct_out.empty()) {
+    cct_file.open(cct_out);
+    if (!cct_file) {
+      std::cerr << "cannot open --cct_out file: " << cct_out << "\n";
+      return 1;
+    }
+  }
 
   TextTable table("replan-loop throughput (" + engine_name + ")");
   table.SetHeader(
@@ -73,6 +108,7 @@ int main(int argc, char** argv) {
                   TextTable::Fmt(seconds * 1e3, 2), TextTable::Fmt(rps, 0),
                   std::to_string(result.queue.pushes),
                   std::to_string(result.queue.pops)});
+    if (cct_file.is_open() && r == 0) DumpCcts(cct_file, "main", result.cct);
   }
   table.AddFootnote(
       "engine.event_pushes / engine.event_pops accumulate in the metrics "
@@ -112,6 +148,9 @@ int main(int argc, char** argv) {
                                    .count();
         best = std::max(best, seconds > 0 ? result.replans / seconds : 0);
         replans = result.replans;
+        if (cct_file.is_open() && r == 0) {
+          DumpCcts(cct_file, "sweep.N" + std::to_string(n), result.cct);
+        }
       }
       sweep_table.AddRow({std::to_string(n), std::to_string(replans),
                           TextTable::Fmt(best, 0)});

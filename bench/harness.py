@@ -32,28 +32,36 @@ from pathlib import Path
 BENCH_SCHEMA = "sunflow.bench/v1"
 MANIFEST_SCHEMA = "sunflow.run_manifest/v1"
 
-# name -> (binary relative to the build dir, extra fixed args).
-# sweep_scaling pins --threads=8 so the committed baseline actually
-# exercises the pool: the default (0 = hardware threads) degenerates to a
-# serial-only sweep on a 1-core bless host, silently committing
-# best_speedup=1.0 with the parallel path never run.
-# table3_complexity is a google-benchmark binary whose custom main writes
-# the same run manifest and ignores the shared workload flags; the short
-# min_time keeps the harness's repeat loop affordable.
+# name -> (binary relative to the build dir, extra fixed args, threads).
+# `threads` is the explicit --threads value for the bench, appended as a
+# column so every aggregate records what it ran with; None leaves the flag
+# off (table3_complexity is a google-benchmark binary with its own flags).
+# sweep_scaling and engine_replan pin --threads=8 so the committed
+# baselines actually exercise the pool (sweep fan-out and intra-replan
+# group planning respectively): the default (0 = hardware threads)
+# degenerates to a serial run on a 1-core bless host, silently committing
+# parallel-path-never-ran numbers. The threads pin changes wall-clock
+# only — outputs are byte-identical at any value.
+# table3_complexity's short min_time keeps the repeat loop affordable.
 BENCHES = {
-    "fig3_intra_vs_tcl": ("bench/fig3_intra_vs_tcl", ["--all_algos"]),
-    "fig4_m2m_cdf": ("bench/fig4_m2m_cdf", []),
-    "fig5_switching": ("bench/fig5_switching", []),
-    "fig6_delta_intra": ("bench/fig6_delta_intra", []),
-    "fig7_vs_tpl": ("bench/fig7_vs_tpl", []),
-    "fig8_inter_idleness": ("bench/fig8_inter_idleness", []),
-    "fig9_cct_diff": ("bench/fig9_cct_diff", []),
-    "fig10_delta_inter": ("bench/fig10_delta_inter", []),
-    "engine_replan": ("bench/engine_replan", []),
-    "sweep_scaling": ("bench/sweep_scaling", ["--threads=8"]),
+    "fig3_intra_vs_tcl": ("bench/fig3_intra_vs_tcl", ["--all_algos"], 1),
+    "fig4_m2m_cdf": ("bench/fig4_m2m_cdf", [], 1),
+    "fig5_switching": ("bench/fig5_switching", [], 1),
+    "fig6_delta_intra": ("bench/fig6_delta_intra", [], 1),
+    "fig7_vs_tpl": ("bench/fig7_vs_tpl", [], 1),
+    "fig8_inter_idleness": ("bench/fig8_inter_idleness", [], 1),
+    "fig9_cct_diff": ("bench/fig9_cct_diff", [], 1),
+    "fig10_delta_inter": ("bench/fig10_delta_inter", [], 1),
+    "engine_replan": (
+        "bench/engine_replan",
+        ["--sweep_coflows=20,40,80,160"],
+        8,
+    ),
+    "sweep_scaling": ("bench/sweep_scaling", [], 8),
     "table3_complexity": (
         "bench/table3_complexity",
         ["--benchmark_min_time=0.05"],
+        None,
     ),
 }
 
@@ -89,6 +97,11 @@ def aggregate(name: str, manifests: list[dict]) -> dict:
         "git_dirty": first["git_dirty"],
         "build_type": first["build_type"],
         "host": first["host"],
+        # Core count of the machine that produced this aggregate: rate
+        # metrics from hosts with different parallelism are not comparable,
+        # and bench_compare warns when the counts differ.
+        "host_nproc": first.get("hardware_threads", 0),
+        "threads": first["run"].get("threads", 0),
         "wall_ns": summarize([m["run"]["wall_ns"] for m in manifests]),
         "peak_rss_kb": summarize(
             [float(m["run"]["peak_rss_kb"]) for m in manifests]
@@ -203,7 +216,9 @@ def main() -> int:
     with tempfile.TemporaryDirectory(prefix="sunflow_bench_") as scratch_str:
         scratch = Path(scratch_str)
         for name in selected:
-            rel, fixed_args = BENCHES[name]
+            rel, fixed_args, threads = BENCHES[name]
+            if threads is not None:
+                fixed_args = [*fixed_args, f"--threads={threads}"]
             binary = build_dir / rel
             if not binary.exists():
                 failures.append(f"{name}: missing binary {binary}")

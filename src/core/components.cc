@@ -1,11 +1,15 @@
 #include "core/components.h"
 
 #include <algorithm>
-#include <future>
+#include <limits>
 #include <map>
 #include <numeric>
+#include <set>
+#include <utility>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
 
 namespace sunflow {
 
@@ -64,8 +68,8 @@ std::vector<PlanRequest> SplitByPortComponents(const PlanRequest& request) {
 
 Time ScheduleComponentsParallel(SunflowPlanner& planner,
                                 const PlanRequest& request,
-                                SunflowSchedule& out, int max_threads) {
-  SUNFLOW_CHECK(max_threads > 0);
+                                SunflowSchedule& out,
+                                runtime::ThreadPool* pool) {
   const auto parts = SplitByPortComponents(request);
   if (parts.empty()) {
     out.completion_time[request.coflow] = 0;
@@ -90,35 +94,47 @@ Time ScheduleComponentsParallel(SunflowPlanner& planner,
     ComponentPlan result;
     result.finish = worker.ScheduleOne(part, result.schedule);
     const auto& all = worker.prt().reservations();
-    result.new_reservations.assign(all.begin() + static_cast<std::ptrdiff_t>(base),
-                                   all.end());
+    result.new_reservations.assign(
+        all.begin() + static_cast<std::ptrdiff_t>(base), all.end());
     return result;
   };
 
-  // Bounded fan-out: launch up to max_threads components at a time.
+  // One task per component on the shared pool (replacing the old bounded
+  // std::async fan-out); task i always plans component i, so the plans
+  // vector is identical at any pool size. A null/serial pool runs the
+  // components in index order on the caller.
   std::vector<ComponentPlan> plans(parts.size());
-  for (std::size_t i = 0; i < parts.size();
-       i += static_cast<std::size_t>(max_threads)) {
-    std::vector<std::future<ComponentPlan>> batch;
-    const std::size_t end =
-        std::min(parts.size(), i + static_cast<std::size_t>(max_threads));
-    for (std::size_t j = i; j < end; ++j) {
-      batch.push_back(std::async(std::launch::async, plan_one,
-                                 std::cref(parts[j])));
-    }
-    for (std::size_t j = i; j < end; ++j) plans[j] = batch[j - i].get();
+  if (pool != nullptr && pool->size() > 1 && parts.size() > 1) {
+    pool->ParallelFor(0, parts.size(),
+                      [&](std::size_t i) { plans[i] = plan_one(parts[i]); });
+  } else {
+    for (std::size_t i = 0; i < parts.size(); ++i)
+      plans[i] = plan_one(parts[i]);
   }
 
-  // Merge: reservations in global start order (streaming guarantee), then
-  // the per-component bookkeeping.
+  // Deterministic merge: global start order, ties broken by (component id,
+  // creation index). The old start-only sort left tie order to the sort
+  // implementation; keying on the component id pins the merged stream so
+  // reservations() is byte-identical run to run and pool size to pool
+  // size.
+  struct Tagged {
+    const CircuitReservation* r;
+    std::size_t component;
+    std::size_t index;
+  };
+  std::vector<Tagged> tagged;
+  for (std::size_t c = 0; c < plans.size(); ++c) {
+    for (std::size_t k = 0; k < plans[c].new_reservations.size(); ++k)
+      tagged.push_back({&plans[c].new_reservations[k], c, k});
+  }
+  std::sort(tagged.begin(), tagged.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.r->start != b.r->start) return a.r->start < b.r->start;
+    if (a.component != b.component) return a.component < b.component;
+    return a.index < b.index;
+  });
   std::vector<CircuitReservation> merged;
-  for (const auto& p : plans)
-    merged.insert(merged.end(), p.new_reservations.begin(),
-                  p.new_reservations.end());
-  std::sort(merged.begin(), merged.end(),
-            [](const CircuitReservation& a, const CircuitReservation& b) {
-              return a.start < b.start;
-            });
+  merged.reserve(tagged.size());
+  for (const Tagged& tr : tagged) merged.push_back(*tr.r);
   planner.ImportReservations(merged);
 
   Time finish = request.start;
@@ -148,6 +164,141 @@ Time SchedulePerComponent(SunflowPlanner& planner, const PlanRequest& request,
   }
   out.completion_time[request.coflow] = finish - request.start;
   return finish;
+}
+
+SunflowSchedule ScheduleRequestsParallel(
+    SunflowPlanner& planner, const std::vector<const PlanRequest*>& requests,
+    runtime::ThreadPool* pool) {
+  static thread_local obs::Counter& parallel_replans =
+      obs::GlobalMetrics().GetCounter("plan.parallel_replans");
+  static thread_local obs::Counter& parallel_groups =
+      obs::GlobalMetrics().GetCounter("plan.parallel_groups");
+  static thread_local obs::Counter& serial_fallbacks =
+      obs::GlobalMetrics().GetCounter("plan.parallel_fallbacks");
+
+  // The parallel path re-derives ScheduleAll's outputs from per-group
+  // planners, which requires: a real pool to win anything, a fresh PRT
+  // (group planners each start from the established circuits alone), no
+  // mid-plan observers (the merged import would replay the stream out of
+  // planning order), and unique coflow ids (the merge is keyed on them).
+  bool eligible = pool != nullptr && pool->size() > 1 &&
+                  requests.size() >= 2 && planner.trace_sink() == nullptr &&
+                  !planner.has_reservation_callback() &&
+                  planner.prt().reservations().empty();
+  if (eligible) {
+    std::set<CoflowId> ids;
+    for (const PlanRequest* req : requests) {
+      if (!ids.insert(req->coflow).second) {
+        eligible = false;
+        break;
+      }
+    }
+  }
+  if (!eligible) {
+    serial_fallbacks.Increment();
+    return planner.ScheduleAll(requests);
+  }
+
+  // Union-find over the joint port space: input port p -> p, output port
+  // p -> num_ports + p. Every request welds its own ports together, so a
+  // root identifies a set of requests whose footprints transitively
+  // overlap — exactly the coflows that can constrain each other on the
+  // PRT. Requests with no demand get singleton groups.
+  const PortId num_ports = planner.prt().num_ports();
+  UnionFind uf(2 * static_cast<std::size_t>(num_ports));
+  const auto in_id = [](PortId p) { return static_cast<std::size_t>(p); };
+  const auto out_id = [num_ports](PortId p) {
+    return static_cast<std::size_t>(num_ports) + static_cast<std::size_t>(p);
+  };
+  for (const PlanRequest* req : requests) {
+    if (req->demand.empty()) continue;
+    const std::size_t anchor = in_id(req->demand.front().src);
+    for (const FlowDemand& f : req->demand) {
+      uf.Union(anchor, in_id(f.src));
+      uf.Union(anchor, out_id(f.dst));
+    }
+  }
+
+  // Group ids in order of first appearance over the priority-ordered
+  // request list, so group g's lowest-priority-index request has the
+  // smallest index among groups >= g — the merge below only depends on
+  // the per-request order, but stable ids keep logs and tests readable.
+  std::vector<std::vector<const PlanRequest*>> groups;
+  std::vector<std::size_t> group_of(requests.size());
+  std::map<std::size_t, std::size_t> root_to_group;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const PlanRequest* req = requests[i];
+    std::size_t g;
+    if (req->demand.empty()) {
+      g = groups.size();
+      groups.emplace_back();
+    } else {
+      const std::size_t root = uf.Find(in_id(req->demand.front().src));
+      auto [it, inserted] = root_to_group.emplace(root, groups.size());
+      if (inserted) groups.emplace_back();
+      g = it->second;
+    }
+    group_of[i] = g;
+    groups[g].push_back(req);
+  }
+  if (groups.size() < 2) {
+    serial_fallbacks.Increment();
+    return planner.ScheduleAll(requests);
+  }
+
+  parallel_replans.Increment();
+  parallel_groups.Increment(groups.size());
+
+  // Plan each group on its own fresh planner. A group's requests keep
+  // their global priority order, and its planner sees the full
+  // established-circuit set (extraneous entries are inert: setup zeroing
+  // only consults a flow's own port pair). Cross-group isolation is the
+  // §6 argument: disjoint ports mean no constraint can cross a group
+  // boundary, so each group plans exactly as it would on the shared PRT.
+  std::vector<SunflowSchedule> results(groups.size());
+  const auto plan_group = [&](std::size_t g) {
+    SunflowPlanner worker(num_ports, planner.config());
+    if (!planner.established_circuits().empty()) {
+      worker.SetEstablishedCircuits(planner.established_circuits(),
+                                    planner.established_at());
+    }
+    results[g] = worker.ScheduleAll(groups[g]);
+  };
+  pool->ParallelFor(0, groups.size(), plan_group);
+
+  // Deterministic merge, replaying the serial creation order: walk the
+  // requests in global priority order and splice each one's reservations
+  // (contiguous in its group's stream, counted by reservation_count) in
+  // turn. The per-port timelines are identical either way — only the
+  // insertion-order reservations() vector needs this reconstruction.
+  SunflowSchedule out;
+  std::vector<std::size_t> cursor(groups.size(), 0);
+  std::vector<CircuitReservation> merged;
+  for (const SunflowSchedule& r : results) merged.reserve(merged.size() + r.reservations.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::size_t g = group_of[i];
+    const SunflowSchedule& sched = results[g];
+    const CoflowId coflow = requests[i]->coflow;
+    const auto count_it = sched.reservation_count.find(coflow);
+    SUNFLOW_CHECK(count_it != sched.reservation_count.end());
+    const auto count = static_cast<std::size_t>(count_it->second);
+    SUNFLOW_CHECK(cursor[g] + count <= sched.reservations.size());
+    for (std::size_t k = 0; k < count; ++k)
+      merged.push_back(sched.reservations[cursor[g] + k]);
+    cursor[g] += count;
+
+    out.completion_time[coflow] = sched.completion_time.at(coflow);
+    out.reservation_count[coflow] = count_it->second;
+    for (auto it = sched.flow_finish.lower_bound(
+             FlowKey{coflow, std::numeric_limits<PortId>::min(),
+                     std::numeric_limits<PortId>::min()});
+         it != sched.flow_finish.end() && it->first.coflow == coflow; ++it) {
+      out.flow_finish.emplace(it->first, it->second);
+    }
+  }
+  planner.ImportReservations(merged);
+  out.reservations = planner.prt().reservations();
+  return out;
 }
 
 }  // namespace sunflow

@@ -6,12 +6,19 @@
 // partitioning is *free*: flows whose port sets are disjoint can never
 // constrain each other on the PRT, so the connected components of the
 // coflow's bipartite port graph can be planned independently (and in
-// parallel) with exactly the same resulting schedule.
+// parallel) with exactly the same resulting schedule. The same argument
+// lifts to whole *request sets*: coflows whose port footprints are
+// disjoint form groups that an InterCoflow replan can plan concurrently
+// (ScheduleRequestsParallel below) with a deterministic merge.
 #pragma once
 
 #include <vector>
 
 #include "core/sunflow.h"
+
+namespace sunflow::runtime {
+class ThreadPool;
+}  // namespace sunflow::runtime
 
 namespace sunflow {
 
@@ -27,14 +34,33 @@ std::vector<PlanRequest> SplitByPortComponents(const PlanRequest& request);
 Time SchedulePerComponent(SunflowPlanner& planner, const PlanRequest& request,
                           SunflowSchedule& out);
 
-/// The actually-parallel version (§6): each component is planned with
-/// std::async on a *copy* of the planner's current state (so existing
-/// higher-priority reservations constrain every component identically),
-/// then the new reservations merge back in start-time order. Components
+/// The actually-parallel version (§6): each component is planned on
+/// `pool` (runtime/thread_pool.h) against a *copy* of the planner's
+/// current state (so existing higher-priority reservations constrain
+/// every component identically), then the new reservations merge back in
+/// deterministic (start, component id, creation index) order. Components
 /// never share ports, so the merge cannot conflict and the resulting PRT
-/// is identical to sequential planning. `max_threads` caps concurrency.
+/// is identical to sequential planning regardless of pool size. A null
+/// pool (or size <= 1) plans serially — the reference schedule.
 Time ScheduleComponentsParallel(SunflowPlanner& planner,
                                 const PlanRequest& request,
-                                SunflowSchedule& out, int max_threads = 4);
+                                SunflowSchedule& out,
+                                runtime::ThreadPool* pool = nullptr);
+
+/// Intra-replan parallel InterCoflow: partitions `requests` (already in
+/// priority order) into port-disjoint groups via union-find over their
+/// joint port footprints and plans each group concurrently on `pool`,
+/// then merges deterministically — group ids follow the smallest request
+/// index they contain, and the merged reservation stream replays the
+/// serial creation order (per request in global priority order, each
+/// request's reservations contiguous). Output-equivalent to
+/// planner.ScheduleAll(requests); falls back to exactly that call when
+/// the pool is null/serial, the PRT is non-empty, a sink/callback would
+/// observe the stream mid-plan, requests share a coflow id, or the
+/// partition is a single group. The planner's PRT holds the merged
+/// reservations on return, as after ScheduleAll.
+SunflowSchedule ScheduleRequestsParallel(
+    SunflowPlanner& planner, const std::vector<const PlanRequest*>& requests,
+    runtime::ThreadPool* pool);
 
 }  // namespace sunflow

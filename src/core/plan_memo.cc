@@ -60,11 +60,11 @@ PlanMemo::Key PlanMemo::Extend(const Key& prefix, const PlanRequest& request) {
 }
 
 std::vector<std::shared_ptr<const PlanMemo::Delta>> PlanMemo::TakePrefix(
-    const std::vector<Key>& keys) {
+    const Key* keys, std::size_t n) {
   std::vector<std::shared_ptr<const Delta>> out;
   const std::lock_guard<std::mutex> lock(mu_);
-  for (const Key& key : keys) {
-    const auto it = map_.find(key);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto it = map_.find(keys[i]);
     if (it == map_.end()) break;
     TouchLocked(it->second);
     out.push_back(it->second.delta);

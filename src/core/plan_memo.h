@@ -23,6 +23,7 @@
 // share it safely because a hit and a miss produce the same bytes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -69,13 +70,14 @@ class PlanMemo {
   /// Extends a prefix key by one request (coflow, start, demand bytes).
   static Key Extend(const Key& prefix, const PlanRequest& request);
 
-  /// Returns the stored deltas for the longest memoized prefix of `keys`
-  /// (keys[i] = hash of the prefix ending at request i); the result holds
-  /// deltas for requests 0 .. result.size()-1. Shared ownership: the
-  /// payloads stay valid (and immutable) even if the entries are evicted
-  /// concurrently.
-  std::vector<std::shared_ptr<const Delta>> TakePrefix(
-      const std::vector<Key>& keys);
+  /// Returns the stored deltas for the longest memoized prefix of
+  /// keys[0..n) (keys[i] = hash of the prefix ending at request i); the
+  /// result holds deltas for requests 0 .. result.size()-1. Takes a raw
+  /// span so callers can hand in arena-backed key buffers. Shared
+  /// ownership: the payloads stay valid (and immutable) even if the
+  /// entries are evicted concurrently.
+  std::vector<std::shared_ptr<const Delta>> TakePrefix(const Key* keys,
+                                                       std::size_t n);
 
   /// Stores the delta for the prefix ending at `key`. Overwrites an
   /// existing entry (same key ⇒ same content by construction).

@@ -166,6 +166,18 @@ class SunflowPlanner {
   const PortReservationTable& prt() const { return prt_; }
   const SunflowConfig& config() const { return config_; }
 
+  // Introspection for the parallel group planner (core/components.cc):
+  // worker planners must replicate the established-circuit state, and the
+  // parallel path is only output-equivalent when no callback observes the
+  // per-reservation stream mid-plan.
+  const EstablishedCircuits& established_circuits() const {
+    return established_;
+  }
+  Time established_at() const { return established_at_; }
+  bool has_reservation_callback() const {
+    return static_cast<bool>(callback_);
+  }
+
  private:
   const std::vector<FlowDemand>& Ordered(const PlanRequest& request) const;
   /// Maps the earliest pending wakeup onto the exact instant the legacy

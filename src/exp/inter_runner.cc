@@ -56,7 +56,13 @@ InterComparison RunInterComparison(const Trace& trace,
 
   // The three replays are independent whole-trace simulations writing
   // disjoint maps — fan them out. Only the Sunflow replay carries the
-  // caller's sink, so the one-sink-per-task contract holds.
+  // caller's sink, so the one-sink-per-task contract holds. The same pool
+  // also serves as the Sunflow replay's intra-replan plan pool: its group
+  // planning nests a ParallelFor inside the replay task, which the pool's
+  // work-stealing wait makes deadlock-free at any size.
+  const int threads =
+      config.threads <= 0 ? runtime::HardwareConcurrency() : config.threads;
+  runtime::ThreadPool pool(threads);
   std::vector<std::function<void()>> replays;
   replays.push_back([&] {
     engine::EngineConfig ec;
@@ -64,6 +70,7 @@ InterComparison RunInterComparison(const Trace& trace,
     ec.sunflow.delta = config.delta;
     ec.carry_over_circuits = config.carry_over_circuits;
     ec.sink = config.sink;
+    ec.plan_pool = &pool;
     const auto policy = MakeShortestFirstPolicy();
     cmp.sunflow = engine::ScenarioRegistry::Global()
                       .Run(config.engine, trace, policy.get(), ec)
@@ -88,10 +95,6 @@ InterComparison RunInterComparison(const Trace& trace,
       cmp.aalo = packet::ReplayPacketTrace(trace, *aalo, pc).cct;
     });
   }
-  const int threads =
-      config.threads <= 0 ? runtime::HardwareConcurrency() : config.threads;
-  runtime::ThreadPool pool(
-      std::min<int>(threads, static_cast<int>(replays.size())));
   pool.ParallelFor(0, replays.size(),
                    [&](std::size_t i) { replays[i](); });
   return cmp;

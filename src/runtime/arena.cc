@@ -1,0 +1,10 @@
+#include "runtime/arena.h"
+
+namespace sunflow::runtime {
+
+Arena& ThisThreadArena() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace sunflow::runtime

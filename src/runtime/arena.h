@@ -1,0 +1,240 @@
+// Bump-pointer arena for per-request planner scratch.
+//
+// The planning hot path (core/sunflow.cc) allocates a handful of small
+// vectors and a wakeup heap on every ScheduleOne call — tens of thousands
+// of malloc/free round trips per replayed trace that the phase profiler
+// attributes to core.plan.*. An Arena turns each of those into a pointer
+// bump: allocation is monotone within a frame, and a frame (ArenaScope)
+// rewinds wholesale when the request finishes. Blocks are retained across
+// frames, so steady-state planning allocates nothing from the system.
+//
+// Threading: an Arena is single-threaded by design. Parallel planning
+// (core/components.cc) runs one request per pool worker; each worker uses
+// its own thread-local arena via ThisThreadArena(), so no arena is ever
+// shared across threads.
+//
+// ASan: freed regions (scope rewinds and Reset) are poisoned and
+// allocations unpoison exactly their extent, so a stale pointer into a
+// finished frame faults under AddressSanitizer just like a heap
+// use-after-free would. All sizes/alignments are rounded to 8 bytes so
+// the poison boundaries are exact, never approximate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SUNFLOW_ARENA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define SUNFLOW_ARENA_ASAN 1
+#endif
+
+#ifdef SUNFLOW_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define SUNFLOW_ARENA_POISON(addr, size) \
+  ASAN_POISON_MEMORY_REGION((addr), (size))
+#define SUNFLOW_ARENA_UNPOISON(addr, size) \
+  ASAN_UNPOISON_MEMORY_REGION((addr), (size))
+#else
+#define SUNFLOW_ARENA_POISON(addr, size) ((void)0)
+#define SUNFLOW_ARENA_UNPOISON(addr, size) ((void)0)
+#endif
+
+namespace sunflow::runtime {
+
+/// Allocation traffic of one arena, surfaced as `arena.*` metrics by the
+/// planner (once per ScheduleAll, so the counters stay off the per-flow
+/// hot path).
+struct ArenaStats {
+  std::uint64_t allocations = 0;   ///< Allocate() calls
+  std::uint64_t bytes = 0;         ///< bytes handed out (rounded to 8)
+  std::uint64_t block_allocs = 0;  ///< blocks fetched from the system
+  std::uint64_t frames = 0;        ///< ArenaScope rewinds
+};
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    // Unpoison before handing blocks back so the allocator's own metadata
+    // writes don't trip ASan.
+    for (auto& b : blocks_) SUNFLOW_ARENA_UNPOISON(b.data.get(), b.capacity);
+  }
+
+  /// Bump-allocates `size` bytes aligned to `align` (both rounded up to 8
+  /// so ASan poison boundaries stay exact). Never returns null; falls back
+  /// to a dedicated block for oversized requests.
+  void* Allocate(std::size_t size, std::size_t align = 8) {
+    size = RoundUp8(size == 0 ? 1 : size);
+    if (align < 8) align = 8;
+    ++stats_.allocations;
+    stats_.bytes += size;
+    if (current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      const std::size_t at = RoundUpTo(b.used, align);
+      if (at + size <= b.capacity) {
+        b.used = at + size;
+        SUNFLOW_ARENA_UNPOISON(b.data.get() + at, size);
+        return b.data.get() + at;
+      }
+      // Try the already-retained successor blocks before growing.
+      for (std::size_t next = current_ + 1; next < blocks_.size(); ++next) {
+        if (size <= blocks_[next].capacity) {
+          current_ = next;
+          Block& nb = blocks_[next];
+          nb.used = size;
+          SUNFLOW_ARENA_UNPOISON(nb.data.get(), size);
+          return nb.data.get();
+        }
+      }
+    }
+    return AllocateSlow(size);
+  }
+
+  /// Rewinds everything, retaining the blocks. Outstanding pointers become
+  /// poisoned (under ASan) dangling references.
+  void Reset() {
+    for (auto& b : blocks_) {
+      SUNFLOW_ARENA_POISON(b.data.get(), b.capacity);
+      b.used = 0;
+    }
+    current_ = 0;
+  }
+
+  const ArenaStats& stats() const { return stats_; }
+
+  /// Bytes currently live (sum of block `used` up to the cursor).
+  std::size_t bytes_in_use() const {
+    std::size_t sum = 0;
+    for (std::size_t i = 0; i < blocks_.size() && i <= current_; ++i)
+      sum += blocks_[i].used;
+    return sum;
+  }
+
+ private:
+  friend class ArenaScope;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+
+  static std::size_t RoundUp8(std::size_t v) { return (v + 7) & ~std::size_t{7}; }
+  static std::size_t RoundUpTo(std::size_t v, std::size_t align) {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  void* AllocateSlow(std::size_t size) {
+    ++stats_.block_allocs;
+    Block b;
+    b.capacity = size > block_bytes_ ? size : block_bytes_;
+    b.data = std::make_unique<char[]>(b.capacity);
+    SUNFLOW_ARENA_POISON(b.data.get(), b.capacity);
+    b.used = size;
+    SUNFLOW_ARENA_UNPOISON(b.data.get(), size);
+    current_ = blocks_.size();
+    blocks_.push_back(std::move(b));
+    return blocks_.back().data.get();
+  }
+
+  Mark Here() const {
+    Mark m;
+    m.block = current_;
+    m.used = current_ < blocks_.size() ? blocks_[current_].used : 0;
+    return m;
+  }
+
+  void RewindTo(const Mark& m) {
+    ++stats_.frames;
+    for (std::size_t i = blocks_.size(); i-- > m.block + 1;) {
+      SUNFLOW_ARENA_POISON(blocks_[i].data.get(), blocks_[i].capacity);
+      blocks_[i].used = 0;
+    }
+    if (m.block < blocks_.size()) {
+      Block& b = blocks_[m.block];
+      SUNFLOW_ARENA_POISON(b.data.get() + m.used, b.capacity - m.used);
+      b.used = m.used;
+    }
+    current_ = m.block;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;
+  ArenaStats stats_;
+};
+
+/// RAII frame: everything allocated after construction is freed (and
+/// poisoned) on destruction. Scopes nest LIFO on one thread; do not
+/// interleave scopes of the same arena across threads.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.Here()) {}
+  ~ArenaScope() { arena_.RewindTo(mark_); }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// Minimal std-allocator adapter. Deallocation is a no-op — memory is
+/// reclaimed by the enclosing ArenaScope — so only use inside a scope
+/// whose lifetime covers the container's.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+/// The per-thread scratch arena. Pool workers and the caller thread each
+/// get their own, so parallel component planning never shares one.
+Arena& ThisThreadArena();
+
+}  // namespace sunflow::runtime

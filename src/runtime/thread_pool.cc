@@ -1,9 +1,12 @@
 #include "runtime/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <limits>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace sunflow::runtime {
 
@@ -39,6 +42,18 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOneQueuedTask() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -122,8 +137,30 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
   }
 
   state->RunLoop();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&] { return state->active_helpers == 0; });
+  // Work-stealing wait: while our helpers are still out, run other queued
+  // pool tasks on this thread instead of blocking. With every waiter (at
+  // any nesting depth) draining the queue, a helper closure queued behind
+  // a nested ParallelFor always finds a thread, so nested calls on the
+  // same pool cannot deadlock. The short timed wait re-polls the queue for
+  // tasks submitted after the last empty check.
+  std::uint64_t steals = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (state->active_helpers == 0) break;
+    }
+    if (TryRunOneQueuedTask()) {
+      ++steals;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait_for(lock, std::chrono::milliseconds(1),
+                            [&] { return state->active_helpers == 0; });
+    if (state->active_helpers == 0) break;
+  }
+  if (steals > 0) {
+    obs::GlobalMetrics().GetCounter("pool.waiter_steals").Increment(steals);
+  }
   if (state->error) std::rethrow_exception(state->error);
 }
 

@@ -14,6 +14,13 @@
 // exception — the one raised by the *lowest* task index — after all
 // workers have quiesced, so failure behaviour is deterministic too.
 // Remaining unclaimed tasks are skipped once a failure is recorded.
+//
+// Nesting: ParallelFor may be called from inside a task already running on
+// the same pool (the intra-replan planner does this when a sweep task
+// replans in parallel). A thread waiting for its helpers to finish steals
+// and runs queued pool tasks instead of blocking, so the inner call's
+// helper closures always find a thread to run them and nested waits can
+// never deadlock — at any depth, some waiter drains the queue.
 #pragma once
 
 #include <condition_variable>
@@ -53,12 +60,18 @@ class ThreadPool {
   /// and blocks until all of them finished. Rethrows the exception of the
   /// lowest failing index, if any. The caller thread participates in the
   /// work, so a ParallelFor on an otherwise idle pool of size N uses N
-  /// threads in total (N - 1 workers + the caller).
+  /// threads in total (N - 1 workers + the caller). Safe to call from a
+  /// task already running on this pool (see the nesting note above).
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& fn);
 
  private:
   void WorkerLoop();
+
+  /// Pops and runs one queued task on the calling thread if any is
+  /// pending. Used by ParallelFor waiters to keep the pool making
+  /// progress instead of blocking (nested-submission deadlock freedom).
+  bool TryRunOneQueuedTask();
 
   int size_ = 1;
   std::vector<std::thread> workers_;

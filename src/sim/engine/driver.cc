@@ -47,9 +47,12 @@ EngineResult ReplayDriver::Run(ScenarioPolicy& scenario) {
 }
 
 void ReplayDriver::AdmitDue(ScenarioPolicy& scenario, Time t) {
-  auto& releases = state_.releases();
-  while (!releases.empty() && releases.next_time() <= t + kTimeEps) {
-    const auto entry = releases.Pop();
+  // Drain every due release into the reusable batch buffer first (one
+  // PopDue call), then admit; (time, seq) order — and therefore the FIFO
+  // tie-break contract — is preserved by the queue.
+  due_.clear();
+  state_.releases().PopDue(t + kTimeEps, due_);
+  for (const auto& entry : due_) {
     const Coflow& coflow = *entry.payload;
     SimCoflow sc;
     sc.id = coflow.id();
@@ -217,8 +220,10 @@ void ReplayDriver::EmitBlockedSpans(const SunflowSchedule& plan, Time t,
 EngineResult RunScenarioReplay(const Trace& trace, ScenarioPolicy& scenario,
                                obs::TraceSink* sink) {
   ReplayDriver driver(trace.num_ports, sink);
-  for (const Coflow& c : trace.coflows)
-    driver.state().PushRelease(c.arrival(), &c);
+  std::vector<std::pair<Time, const Coflow*>> seed;
+  seed.reserve(trace.coflows.size());
+  for (const Coflow& c : trace.coflows) seed.emplace_back(c.arrival(), &c);
+  driver.state().PushReleaseBatch(seed);
   return driver.Run(scenario);
 }
 

@@ -74,6 +74,9 @@ class ReplayDriver {
   void Harvest(ScenarioPolicy& scenario, Time now);
 
   SimState state_;
+  /// Reusable batch buffer for AdmitDue's PopDue drain (allocated once,
+  /// cleared per admission round).
+  std::vector<EventQueue<const Coflow*>::Entry> due_;
 };
 
 /// Front door: seeds one release per trace coflow at its arrival and runs

@@ -49,12 +49,40 @@ class EventQueue {
     std::push_heap(heap_.begin(), heap_.end(), Later);
   }
 
+  /// Batched push: appends every (time, payload) pair — assigning
+  /// sequence numbers in batch order, exactly as element-wise Push would —
+  /// then heapifies once. (time, seq) is a total order (seq is unique), so
+  /// the pop order is identical to N element-wise pushes; only the number
+  /// of sift operations changes: one make_heap instead of N push_heaps.
+  void PushBatch(const std::vector<std::pair<Time, Payload>>& batch) {
+    if (batch.empty()) return;
+    stats_.pushes += batch.size();
+    heap_.reserve(heap_.size() + batch.size());
+    for (const auto& [t, payload] : batch) {
+      heap_.push_back(Entry{t, next_seq_++, payload});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), Later);
+  }
+
   Entry Pop() {
     ++stats_.pops;
     std::pop_heap(heap_.begin(), heap_.end(), Later);
     Entry entry = std::move(heap_.back());
     heap_.pop_back();
     return entry;
+  }
+
+  /// Batched pop: appends every entry with t <= cutoff to `out` in
+  /// (time, seq) order and returns how many were taken. Lets a caller
+  /// drain all due events into one reusable per-replan buffer instead of
+  /// interleaving Pop calls with processing.
+  std::size_t PopDue(Time cutoff, std::vector<Entry>& out) {
+    std::size_t taken = 0;
+    while (!heap_.empty() && heap_.front().t <= cutoff) {
+      out.push_back(Pop());
+      ++taken;
+    }
+    return taken;
   }
 
   const EventQueueStats& stats() const { return stats_; }

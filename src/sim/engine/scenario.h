@@ -22,6 +22,10 @@
 #include "core/sunflow.h"
 #include "sim/engine/state.h"
 
+namespace sunflow::runtime {
+class ThreadPool;
+}  // namespace sunflow::runtime
+
 namespace sunflow::engine {
 
 class ReplayDriver;
@@ -39,6 +43,12 @@ struct EngineConfig {
   Time min_replan_interval = 0;
   /// Optional structured event tracer; the driver is the only emitter.
   obs::TraceSink* sink = nullptr;
+  /// Optional worker pool for intra-replan parallelism: port-disjoint
+  /// groups of the active set plan concurrently (ScheduleRequestsParallel,
+  /// core/components.h). Null or size <= 1 plans serially; output is
+  /// byte-identical either way — the pool changes wall-clock only. Not
+  /// owned; must outlive the replay.
+  runtime::ThreadPool* plan_pool = nullptr;
   /// (T + τ) cadence for the "guarded" scenario (τ > δ required).
   StarvationGuardConfig guard;
   /// How long each Φ assignment stays up in the "rotor" scenario

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "core/components.h"
 #include "packet/replay.h"
 #include "packet/varys.h"
 #include "sim/engine/driver.h"
@@ -31,26 +32,52 @@ namespace {
 // per-flow finish instants (needed for starvation accounting).
 enum class DrainRule { kCircuitDust, kExactFinish };
 
+// Orders reservation pointers by (in, out); heterogeneous overloads let
+// equal_range probe with a bare port pair.
+struct ByPortPair {
+  static std::pair<PortId, PortId> PairOf(const CircuitReservation* r) {
+    return {r->in, r->out};
+  }
+  bool operator()(const CircuitReservation* a,
+                  const CircuitReservation* b) const {
+    return PairOf(a) < PairOf(b);
+  }
+  bool operator()(const CircuitReservation* r,
+                  const std::pair<PortId, PortId>& p) const {
+    return PairOf(r) < p;
+  }
+  bool operator()(const std::pair<PortId, PortId>& p,
+                  const CircuitReservation* r) const {
+    return p < PairOf(r);
+  }
+};
+
 // Executes a plan over [t, t_next): charges each active coflow the circuit
 // time its reservations actually got before the span end. Reservation
 // groups are walked in plan order, preserving the pre-kernel summation
-// order exactly.
+// order exactly: `scratch` (a caller-owned buffer reused across spans, so
+// the old per-span map-of-vectors churn is gone) is stable-sorted by port
+// pair, which keeps plan order within each pair.
 void ExecutePlanSpan(ReplayDriver& driver, std::vector<SimCoflow>& active,
                      const SunflowSchedule& plan, Time t, Time t_next,
-                     Bandwidth bandwidth, DrainRule rule) {
-  std::map<std::pair<PortId, PortId>, std::vector<const CircuitReservation*>>
-      by_pair;
-  for (const auto& r : plan.reservations) by_pair[{r.in, r.out}].push_back(&r);
+                     Bandwidth bandwidth, DrainRule rule,
+                     std::vector<const CircuitReservation*>& scratch) {
+  scratch.clear();
+  scratch.reserve(plan.reservations.size());
+  for (const auto& r : plan.reservations) scratch.push_back(&r);
+  std::stable_sort(scratch.begin(), scratch.end(), ByPortPair{});
 
   for (auto& sc : active) {
     Bytes served_total = 0;
     for (auto& [pair, bytes] : sc.remaining) {
       if (bytes <= kBytesEps) continue;
-      auto it = by_pair.find(pair);
-      if (it == by_pair.end()) continue;
+      const auto [first, last] =
+          std::equal_range(scratch.begin(), scratch.end(), pair, ByPortPair{});
+      if (first == last) continue;
       Time served = 0;
       Time flow_finish = 0;
-      for (const CircuitReservation* r : it->second) {
+      for (auto rit = first; rit != last; ++rit) {
+        const CircuitReservation* r = *rit;
         if (r->coflow != sc.id) continue;
         const Time b = std::max(r->transmit_begin(), t);
         const Time e = std::min(r->end, t_next);
@@ -165,12 +192,16 @@ class PlanRequestCache {
 
 // InterCoflow over the active set in policy order: builds views, orders,
 // plans on a fresh PRT (optionally seeded with carried-over circuits) and
-// reports the replan through the driver.
+// reports the replan through the driver. With a pool, port-disjoint groups
+// of the active set plan concurrently (byte-identical output; the planner
+// here never carries a sink — the driver is the sole emitter — so the
+// parallel path's no-observer precondition always holds).
 SunflowSchedule PlanActiveSet(ReplayDriver& driver,
                               const PriorityPolicy& policy,
                               const SunflowConfig& config,
                               const EstablishedCircuits* established, Time t,
-                              PlanRequestCache& cache) {
+                              PlanRequestCache& cache,
+                              runtime::ThreadPool* pool) {
   SimState& s = driver.state();
   auto& active = s.active();
   const Bandwidth bandwidth = config.bandwidth;
@@ -199,7 +230,7 @@ SunflowSchedule PlanActiveSet(ReplayDriver& driver,
   }
   cache.PruneTo(active.size());
   const auto plan_begin = std::chrono::steady_clock::now();
-  SunflowSchedule plan = planner.ScheduleAll(requests);
+  SunflowSchedule plan = ScheduleRequestsParallel(planner, requests, pool);
   const auto plan_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                            std::chrono::steady_clock::now() - plan_begin)
                            .count();
@@ -239,7 +270,7 @@ class CircuitScenario final : public ScenarioPolicy {
     SunflowSchedule plan = PlanActiveSet(
         driver, policy_, config_.sunflow,
         config_.carry_over_circuits ? &established_ : nullptr, t,
-        request_cache_);
+        request_cache_, config_.plan_pool);
     last_plan_ = t;
 
     // Next event: a release or the earliest planned completion. A release
@@ -260,7 +291,8 @@ class CircuitScenario final : public ScenarioPolicy {
                       "circuit replay stalled at t=" << t);
 
     ExecutePlanSpan(driver, active, plan, t, t_next,
-                    config_.sunflow.bandwidth, DrainRule::kCircuitDust);
+                    config_.sunflow.bandwidth, DrainRule::kCircuitDust,
+                    span_scratch_);
     driver.EmitExecutedPlan(plan, t, t_next);
     driver.EmitBlockedSpans(plan, t, t_next);
 
@@ -292,6 +324,7 @@ class CircuitScenario final : public ScenarioPolicy {
   CompletionHook hook_;
   EstablishedCircuits established_;
   PlanRequestCache request_cache_;
+  std::vector<const CircuitReservation*> span_scratch_;
   Time last_plan_ = -kTimeInf;
 };
 
@@ -327,8 +360,9 @@ class GuardScenario final : public ScenarioPolicy {
     if (!timeline_.InTauInterval(t)) {
       // --- T span: priority-scheduled InterCoflow plan, cut at events
       // (no carry-over, no throttle — each span replans from scratch). ---
-      SunflowSchedule plan = PlanActiveSet(driver, policy_, config_.sunflow,
-                                           nullptr, t, request_cache_);
+      SunflowSchedule plan =
+          PlanActiveSet(driver, policy_, config_.sunflow, nullptr, t,
+                        request_cache_, config_.plan_pool);
 
       Time t_next = std::min(span_end, t_arrival);
       for (const auto& sc : active)
@@ -336,7 +370,7 @@ class GuardScenario final : public ScenarioPolicy {
       SUNFLOW_CHECK(t_next > t);
 
       ExecutePlanSpan(driver, active, plan, t, t_next, bandwidth,
-                      DrainRule::kExactFinish);
+                      DrainRule::kExactFinish, span_scratch_);
       driver.EmitExecutedPlan(plan, t, t_next);
       driver.EmitBlockedSpans(plan, t, t_next);
       return t_next;
@@ -397,6 +431,7 @@ class GuardScenario final : public ScenarioPolicy {
   StarvationGuardTimeline timeline_;
   PhiAssignments phi_;
   PlanRequestCache request_cache_;
+  std::vector<const CircuitReservation*> span_scratch_;
   Time last_traced_tau_ = -kTimeInf;
 };
 

@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/policy.h"
 #include "obs/trace_sink.h"
 #include "sim/engine/driver.h"
@@ -50,6 +52,75 @@ TEST(EventQueue, CountsPushesAndPops) {
   EXPECT_EQ(q.stats().pushes, 2u);
   EXPECT_EQ(q.stats().pops, 1u);
   EXPECT_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, BatchOpsMatchElementWiseUnderRandomInterleavings) {
+  // Property: a queue driven by PushBatch/PopDue pops the exact same
+  // (time, payload) sequence as one driven element-wise, under randomized
+  // interleavings of pushes and drains. (time, seq) is a total order —
+  // seq is unique — so one make_heap over appended entries must be
+  // indistinguishable from heapifying push by push.
+  Rng rng(20161212);
+  for (int trial = 0; trial < 40; ++trial) {
+    EventQueue<int> element_wise;
+    EventQueue<int> batched;
+    std::vector<std::pair<Time, int>> popped_a, popped_b;
+    std::vector<EventQueue<int>::Entry> due;
+    int next_payload = 0;
+    for (int step = 0; step < 30; ++step) {
+      if (rng.UniformInt(0, 2) != 0) {
+        // Push the same batch to both sides: element-wise to one, one
+        // PushBatch (including possibly-empty batches) to the other.
+        std::vector<std::pair<Time, int>> batch;
+        const auto k = rng.UniformInt(0, 5);
+        for (std::int64_t i = 0; i < k; ++i) {
+          batch.emplace_back(rng.Uniform(0, 10), next_payload++);
+        }
+        for (const auto& [t, p] : batch) element_wise.Push(t, p);
+        batched.PushBatch(batch);
+      } else {
+        // Drain everything due at a random cutoff from both sides.
+        const Time cutoff = rng.Uniform(0, 12);
+        while (!element_wise.empty() &&
+               element_wise.next_time() <= cutoff) {
+          const auto e = element_wise.Pop();
+          popped_a.emplace_back(e.t, e.payload);
+        }
+        due.clear();
+        batched.PopDue(cutoff, due);
+        for (const auto& e : due) popped_b.emplace_back(e.t, e.payload);
+      }
+    }
+    // Final full drain.
+    while (!element_wise.empty()) {
+      const auto e = element_wise.Pop();
+      popped_a.emplace_back(e.t, e.payload);
+    }
+    due.clear();
+    batched.PopDue(kTimeInf, due);
+    for (const auto& e : due) popped_b.emplace_back(e.t, e.payload);
+
+    ASSERT_EQ(popped_a, popped_b) << "trial " << trial;
+    EXPECT_EQ(element_wise.stats().pushes, batched.stats().pushes);
+    EXPECT_EQ(element_wise.stats().pops, batched.stats().pops);
+  }
+}
+
+TEST(EventQueue, PopDueAppendsWithoutClearing) {
+  // The driver reuses one due-buffer across admission rounds; PopDue must
+  // append (the caller clears), and report how many entries it took.
+  EventQueue<int> q;
+  q.Push(1.0, 1);
+  q.Push(2.0, 2);
+  q.Push(3.0, 3);
+  std::vector<EventQueue<int>::Entry> out;
+  EXPECT_EQ(q.PopDue(1.5, out), 1u);
+  EXPECT_EQ(q.PopDue(2.5, out), 1u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].payload, 1);
+  EXPECT_EQ(out[1].payload, 2);
+  EXPECT_EQ(q.PopDue(0.5, out), 0u);
+  EXPECT_EQ(out.size(), 2u);
 }
 
 EngineConfig UnitConfig() {

@@ -14,6 +14,7 @@
 #include "packet/fair_share.h"
 #include "packet/replay.h"
 #include "packet/varys.h"
+#include "runtime/thread_pool.h"
 #include "trace/bounds.h"
 #include "trace/generator.h"
 
@@ -254,10 +255,11 @@ TEST(Components, ParallelPlanningMatchesSequential) {
     SchedulePerComponent(seq, PlanRequest::FromCoflow(c, Gbps(1), 0.0),
                          seq_out);
 
+    runtime::ThreadPool pool(3);
     SunflowPlanner par(ports, Config());
     SunflowSchedule par_out;
     ScheduleComponentsParallel(par, PlanRequest::FromCoflow(c, Gbps(1), 0.0),
-                               par_out, /*max_threads=*/3);
+                               par_out, &pool);
 
     EXPECT_NEAR(par_out.completion_time.at(1),
                 seq_out.completion_time.at(1), 1e-9);
@@ -282,11 +284,12 @@ TEST(Components, ParallelPlanningRespectsExistingReservations) {
   reference.ScheduleOne(PlanRequest::FromCoflow(high, Gbps(1), 0.0), ref_out);
   reference.ScheduleOne(PlanRequest::FromCoflow(low, Gbps(1), 0.0), ref_out);
 
+  runtime::ThreadPool pool(2);
   SunflowPlanner parallel(8, Config());
   SunflowSchedule par_out;
   parallel.ScheduleOne(PlanRequest::FromCoflow(high, Gbps(1), 0.0), par_out);
   ScheduleComponentsParallel(
-      parallel, PlanRequest::FromCoflow(low, Gbps(1), 0.0), par_out, 2);
+      parallel, PlanRequest::FromCoflow(low, Gbps(1), 0.0), par_out, &pool);
 
   EXPECT_NEAR(par_out.completion_time.at(2), ref_out.completion_time.at(2),
               1e-9);

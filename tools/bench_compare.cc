@@ -126,6 +126,18 @@ std::string FmtValue(const std::string& name, double v) {
   return TextTable::Fmt(v, 2);
 }
 
+// Core count of the host that produced a result file: "hardware_threads"
+// in a run manifest, "host_nproc" in a bench aggregate. 0 when the file
+// predates the field — comparisons then proceed without the check.
+int HostNproc(const JsonValue& doc) {
+  for (const char* key : {"hardware_threads", "host_nproc"}) {
+    if (const JsonValue* v = doc.Find(key)) {
+      if (v->is_number()) return static_cast<int>(v->AsNumber());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,11 +162,15 @@ int main(int argc, char** argv) {
 
   std::map<std::string, Metric> base, cand;
   std::map<std::string, double> base_info, cand_info;
+  int base_nproc = 0;
+  int cand_nproc = 0;
   try {
-    base = ExtractMetrics(JsonValue::ParseFile(baseline_path), baseline_path,
-                          &base_info);
-    cand = ExtractMetrics(JsonValue::ParseFile(candidate_path),
-                          candidate_path, &cand_info);
+    const JsonValue base_doc = JsonValue::ParseFile(baseline_path);
+    const JsonValue cand_doc = JsonValue::ParseFile(candidate_path);
+    base = ExtractMetrics(base_doc, baseline_path, &base_info);
+    cand = ExtractMetrics(cand_doc, candidate_path, &cand_info);
+    base_nproc = HostNproc(base_doc);
+    cand_nproc = HostNproc(cand_doc);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
@@ -216,6 +232,17 @@ int main(int argc, char** argv) {
   table.AddFootnote("threshold " + TextTable::FmtPct(threshold, 0) +
                     ", phases under " + TextTable::Fmt(min_phase_ms, 1) +
                     " ms skipped; \"info\" rows never gate");
+  // Cross-core-count comparisons of rate metrics are not apples-to-apples
+  // (a baseline blessed on an 8-core runner will beat any 1-core
+  // candidate on replans_per_sec without a single regressed line of
+  // code). Warn, never gate: the numeric verdicts still print.
+  if (base_nproc > 0 && cand_nproc > 0 && base_nproc != cand_nproc) {
+    table.AddFootnote("WARNING: baseline host had " +
+                      std::to_string(base_nproc) +
+                      " hardware threads, candidate host has " +
+                      std::to_string(cand_nproc) +
+                      " — rate metrics are not directly comparable");
+  }
   table.Print(std::cout);
 
   if (compared == 0) {
