@@ -58,6 +58,7 @@ BENCHES = {
         8,
     ),
     "sweep_scaling": ("bench/sweep_scaling", [], 8),
+    "fig_kcore": ("bench/fig_kcore", ["--coflows=120"], 8),
     "table3_complexity": (
         "bench/table3_complexity",
         ["--benchmark_min_time=0.05"],

@@ -14,6 +14,9 @@ namespace sunflow {
 
 using PortId = std::int32_t;  ///< 0-based switch port index.
 using CoflowId = std::int64_t;
+/// 0-based switch plane (core) index in a K-core fabric. The classic
+/// single-switch fabric is plane 0 everywhere.
+using PlaneId = std::int32_t;
 
 /// Seconds. Simulations span microseconds (δ = 10 µs) to hours (trace
 /// length), comfortably inside double precision.

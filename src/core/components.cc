@@ -258,9 +258,11 @@ SunflowSchedule ScheduleRequestsParallel(
   std::vector<SunflowSchedule> results(groups.size());
   const auto plan_group = [&](std::size_t g) {
     SunflowPlanner worker(num_ports, planner.config());
-    if (!planner.established_circuits().empty()) {
-      worker.SetEstablishedCircuits(planner.established_circuits(),
-                                    planner.established_at());
+    if (planner.has_established()) {
+      // The full per-plane carry-over set: worker planners must see every
+      // plane's established circuits, not just plane 0's.
+      worker.SetEstablishedCircuitsByPlane(planner.established_by_plane(),
+                                           planner.established_at());
     }
     results[g] = worker.ScheduleAll(groups[g]);
   };

@@ -27,9 +27,11 @@ void AbsorbTime(PlanMemo::Key& k, Time t) {
 
 }  // namespace
 
-PlanMemo::Key PlanMemo::BaseKey(PortId num_ports, const SunflowConfig& config,
-                                const std::map<PortId, PortId>& established,
-                                Time established_at) {
+PlanMemo::Key PlanMemo::BaseKey(
+    PortId num_ports, const SunflowConfig& config,
+    const std::vector<PlaneSpec>& planes,
+    const std::vector<std::map<PortId, PortId>>& established,
+    Time established_at) {
   Key k{0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL};
   Absorb(k, static_cast<std::uint64_t>(num_ports));
   AbsorbTime(k, config.bandwidth);
@@ -37,12 +39,24 @@ PlanMemo::Key PlanMemo::BaseKey(PortId num_ports, const SunflowConfig& config,
   Absorb(k, static_cast<std::uint64_t>(config.order));
   Absorb(k, config.shuffle_seed);
   AbsorbTime(k, config.demand_quantum);
-  Absorb(k, established.size());
-  for (const auto& [in, out] : established) {
-    Absorb(k, static_cast<std::uint64_t>(in) << 32 |
-                  static_cast<std::uint32_t>(out));
+  // The resolved plane list, not the raw FabricSpec: the empty spec and
+  // Uniform(1, delta, bandwidth) resolve identically and produce identical
+  // plans, so they deliberately share memo entries.
+  Absorb(k, planes.size());
+  for (const PlaneSpec& p : planes) {
+    AbsorbTime(k, p.delta);
+    AbsorbTime(k, p.rate);
   }
-  if (!established.empty()) AbsorbTime(k, established_at);
+  bool any_established = false;
+  for (const auto& plane_circuits : established) {
+    Absorb(k, plane_circuits.size());
+    for (const auto& [in, out] : plane_circuits) {
+      Absorb(k, static_cast<std::uint64_t>(in) << 32 |
+                    static_cast<std::uint32_t>(out));
+    }
+    if (!plane_circuits.empty()) any_established = true;
+  }
+  if (any_established) AbsorbTime(k, established_at);
   return k;
 }
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "core/fabric.h"
 #include "core/reservation.h"
 
 namespace sunflow {
@@ -62,9 +63,13 @@ class PlanMemo {
   };
 
   /// Hash of everything that shapes a plan besides the requests: port
-  /// count, planner config and the established-circuit carry-over.
+  /// count, planner config, the resolved fabric plane list (per-plane
+  /// δ/rate — two fabrics with the same config bandwidth/delta but
+  /// different planes must never share plans) and the per-plane
+  /// established-circuit carry-over.
   static Key BaseKey(PortId num_ports, const SunflowConfig& config,
-                     const std::map<PortId, PortId>& established,
+                     const std::vector<PlaneSpec>& planes,
+                     const std::vector<std::map<PortId, PortId>>& established,
                      Time established_at);
 
   /// Extends a prefix key by one request (coflow, start, demand bytes).

@@ -14,17 +14,39 @@ std::string CircuitReservation::DebugString() const {
   std::ostringstream os;
   os << "[in." << in << ", out." << out << ") t=[" << start << ", " << end
      << ") setup=" << setup << " coflow=" << coflow;
+  if (plane != 0) os << " plane=" << plane;
   return os.str();
 }
 
-PortReservationTable::PortReservationTable(PortId num_ports)
-    : num_ports_(num_ports),
-      in_slots_(static_cast<std::size_t>(num_ports)),
-      out_slots_(static_cast<std::size_t>(num_ports)) {
+FabricReservationTable::FabricReservationTable(PortId num_ports,
+                                               int num_planes)
+    : num_ports_(num_ports), num_planes_(num_planes) {
   SUNFLOW_CHECK(num_ports > 0);
+  SUNFLOW_CHECK(num_planes > 0);
+  const std::size_t timelines =
+      static_cast<std::size_t>(num_planes) * static_cast<std::size_t>(num_ports);
+  slots_[0].resize(timelines);
+  slots_[1].resize(timelines);
 }
 
-std::size_t PortReservationTable::PortTimeline::LowerBound(Time t) const {
+const FabricReservationTable::PortTimeline& FabricReservationTable::Timeline(
+    Side side, PortId p, PlaneId plane) const {
+  SUNFLOW_CHECK(p >= 0 && p < num_ports_);
+  SUNFLOW_CHECK(plane >= 0 && plane < num_planes_);
+  return slots_[static_cast<int>(side)]
+               [static_cast<std::size_t>(plane) *
+                    static_cast<std::size_t>(num_ports_) +
+                static_cast<std::size_t>(p)];
+}
+
+FabricReservationTable::PortTimeline& FabricReservationTable::Timeline(
+    Side side, PortId p, PlaneId plane) {
+  return const_cast<PortTimeline&>(
+      static_cast<const FabricReservationTable&>(*this).Timeline(side, p,
+                                                                 plane));
+}
+
+std::size_t FabricReservationTable::PortTimeline::LowerBound(Time t) const {
   const std::size_t n = slots.size();
   // The cursor is a valid lower bound iff everything before it is fully in
   // the past at t as well. Ends are strictly increasing (slots never
@@ -45,21 +67,21 @@ std::size_t PortReservationTable::PortTimeline::LowerBound(Time t) const {
   return cursor;
 }
 
-bool PortReservationTable::PortTimeline::FreeAt(Time t) const {
+bool FabricReservationTable::PortTimeline::FreeAt(Time t) const {
   // The covering slot, if any, is the first one whose end is still ahead
   // of t; the port is busy iff that slot has already started.
   const std::size_t i = LowerBound(t);
   return i == slots.size() || slots[i].start > t;
 }
 
-Time PortReservationTable::PortTimeline::BusyUntil(Time t) const {
+Time FabricReservationTable::PortTimeline::BusyUntil(Time t) const {
   const std::size_t i = LowerBound(t);
   if (i == slots.size() || slots[i].start > t) return t;
   return slots[i].end;
 }
 
-PortReservationTable::NextReservation
-PortReservationTable::PortTimeline::NextStartAfter(Time t) const {
+FabricReservationTable::NextReservation
+FabricReservationTable::PortTimeline::NextStartAfter(Time t) const {
   std::size_t i = LowerBound(t);
   // slots[i] may cover t (start <= t); the one after it starts past t
   // because its start is >= this slot's end - ε > t.
@@ -68,7 +90,7 @@ PortReservationTable::PortTimeline::NextStartAfter(Time t) const {
   return {slots[i].start, slots[i].end};
 }
 
-void PortReservationTable::PortTimeline::CheckFits(const Slot& s) const {
+void FabricReservationTable::PortTimeline::CheckFits(const Slot& s) const {
   const auto pos = std::upper_bound(
       slots.begin(), slots.end(), s,
       [](const Slot& a, const Slot& b) { return a.start < b.start; });
@@ -82,9 +104,9 @@ void PortReservationTable::PortTimeline::CheckFits(const Slot& s) const {
   }
 }
 
-void PortReservationTable::PortTimeline::Insert(const Slot& s) {
+void FabricReservationTable::PortTimeline::Insert(const Slot& s) {
   // Append fast path: the planner emits reservations in non-decreasing
-  // start order per port, so most inserts land at the back.
+  // start order per timeline, so most inserts land at the back.
   auto pos = slots.end();
   if (!slots.empty() && s.start < slots.back().start) {
     pos = std::upper_bound(slots.begin(), slots.end(), s,
@@ -97,7 +119,7 @@ void PortReservationTable::PortTimeline::Insert(const Slot& s) {
   slots.insert(pos, s);
 }
 
-std::size_t PortReservationTable::PortTimeline::CoveringIndexAt(
+std::size_t FabricReservationTable::PortTimeline::CoveringIndexAt(
     Time t) const {
   // Same predicate as LowerBound, but without reading or re-seating the
   // cursor: the first slot whose end is still ahead of t covers t iff it
@@ -109,8 +131,8 @@ std::size_t PortReservationTable::PortTimeline::CoveringIndexAt(
   return it->index;
 }
 
-const PortReservationTable::Slot*
-PortReservationTable::PortTimeline::FirstStartAfter(Time t) const {
+const FabricReservationTable::Slot*
+FabricReservationTable::PortTimeline::FirstStartAfter(Time t) const {
   auto it = std::partition_point(
       slots.begin(), slots.end(),
       [t](const Slot& s) { return s.end <= t + kTimeEps; });
@@ -119,65 +141,42 @@ PortReservationTable::PortTimeline::FirstStartAfter(Time t) const {
   return &*it;
 }
 
-CoflowId PortReservationTable::InputOwnerAt(PortId i, Time t) const {
-  SUNFLOW_CHECK(i >= 0 && i < num_ports_);
-  const std::size_t idx =
-      in_slots_[static_cast<std::size_t>(i)].CoveringIndexAt(t);
+bool FabricReservationTable::FreeAt(Side side, PortId p, Time t,
+                                    PlaneId plane) const {
+  return Timeline(side, p, plane).FreeAt(t);
+}
+
+Time FabricReservationTable::BusyUntil(Side side, PortId p, Time t,
+                                       PlaneId plane) const {
+  return Timeline(side, p, plane).BusyUntil(t);
+}
+
+CoflowId FabricReservationTable::OwnerAt(Side side, PortId p, Time t,
+                                         PlaneId plane) const {
+  const std::size_t idx = Timeline(side, p, plane).CoveringIndexAt(t);
   return idx == SIZE_MAX ? -1 : all_[idx].coflow;
 }
 
-CoflowId PortReservationTable::OutputOwnerAt(PortId j, Time t) const {
-  SUNFLOW_CHECK(j >= 0 && j < num_ports_);
-  const std::size_t idx =
-      out_slots_[static_cast<std::size_t>(j)].CoveringIndexAt(t);
-  return idx == SIZE_MAX ? -1 : all_[idx].coflow;
-}
-
-CoflowId PortReservationTable::NextOwnerAfter(PortId in, PortId out,
-                                              Time t) const {
-  SUNFLOW_CHECK(in >= 0 && in < num_ports_);
-  SUNFLOW_CHECK(out >= 0 && out < num_ports_);
-  const Slot* a = in_slots_[static_cast<std::size_t>(in)].FirstStartAfter(t);
-  const Slot* b = out_slots_[static_cast<std::size_t>(out)].FirstStartAfter(t);
+CoflowId FabricReservationTable::NextOwnerAfter(PortId in, PortId out, Time t,
+                                                PlaneId plane) const {
+  const Slot* a = Timeline(Side::kIn, in, plane).FirstStartAfter(t);
+  const Slot* b = Timeline(Side::kOut, out, plane).FirstStartAfter(t);
   const Slot* first = a;
   if (first == nullptr || (b != nullptr && b->start < first->start)) first = b;
   return first == nullptr ? -1 : all_[first->index].coflow;
 }
 
-bool PortReservationTable::InputFreeAt(PortId i, Time t) const {
-  SUNFLOW_CHECK(i >= 0 && i < num_ports_);
-  return in_slots_[static_cast<std::size_t>(i)].FreeAt(t);
+Time FabricReservationTable::NextReservationStartAfter(PortId in, PortId out,
+                                                       Time t,
+                                                       PlaneId plane) const {
+  return NextReservationAfter(in, out, t, plane).start;
 }
 
-bool PortReservationTable::OutputFreeAt(PortId j, Time t) const {
-  SUNFLOW_CHECK(j >= 0 && j < num_ports_);
-  return out_slots_[static_cast<std::size_t>(j)].FreeAt(t);
-}
-
-Time PortReservationTable::InputBusyUntil(PortId i, Time t) const {
-  SUNFLOW_CHECK(i >= 0 && i < num_ports_);
-  return in_slots_[static_cast<std::size_t>(i)].BusyUntil(t);
-}
-
-Time PortReservationTable::OutputBusyUntil(PortId j, Time t) const {
-  SUNFLOW_CHECK(j >= 0 && j < num_ports_);
-  return out_slots_[static_cast<std::size_t>(j)].BusyUntil(t);
-}
-
-Time PortReservationTable::NextReservationStartAfter(PortId in, PortId out,
-                                                     Time t) const {
-  return NextReservationAfter(in, out, t).start;
-}
-
-PortReservationTable::NextReservation
-PortReservationTable::NextReservationAfter(PortId in, PortId out,
-                                           Time t) const {
-  SUNFLOW_CHECK(in >= 0 && in < num_ports_);
-  SUNFLOW_CHECK(out >= 0 && out < num_ports_);
-  const NextReservation a =
-      in_slots_[static_cast<std::size_t>(in)].NextStartAfter(t);
-  const NextReservation b =
-      out_slots_[static_cast<std::size_t>(out)].NextStartAfter(t);
+FabricReservationTable::NextReservation
+FabricReservationTable::NextReservationAfter(PortId in, PortId out, Time t,
+                                             PlaneId plane) const {
+  const NextReservation a = Timeline(Side::kIn, in, plane).NextStartAfter(t);
+  const NextReservation b = Timeline(Side::kOut, out, plane).NextStartAfter(t);
   if (a.start < b.start) return a;
   if (b.start < a.start) return b;
   // Both ports have a slot starting at the same instant: the constraint at
@@ -185,17 +184,19 @@ PortReservationTable::NextReservationAfter(PortId in, PortId out,
   return {a.start, std::max(a.release, b.release)};
 }
 
-void PortReservationTable::Reserve(const CircuitReservation& r) {
+void FabricReservationTable::Reserve(const CircuitReservation& r) {
   SUNFLOW_PROFILE_SCOPE("prt.reserve");
   SUNFLOW_CHECK(r.in >= 0 && r.in < num_ports_);
   SUNFLOW_CHECK(r.out >= 0 && r.out < num_ports_);
+  SUNFLOW_CHECK_MSG(r.plane >= 0 && r.plane < num_planes_,
+                    "plane out of range in " << r.DebugString());
   SUNFLOW_CHECK_MSG(r.end > r.start + kTimeEps,
                     "empty reservation " << r.DebugString());
   SUNFLOW_CHECK_MSG(r.setup >= 0 && r.setup <= r.length() + kTimeEps,
                     "bad setup in " << r.DebugString());
   const Slot s{r.start, r.end, all_.size()};
-  PortTimeline& in_tl = in_slots_[static_cast<std::size_t>(r.in)];
-  PortTimeline& out_tl = out_slots_[static_cast<std::size_t>(r.out)];
+  PortTimeline& in_tl = Timeline(Side::kIn, r.in, r.plane);
+  PortTimeline& out_tl = Timeline(Side::kOut, r.out, r.plane);
   in_tl.CheckFits(s);
   out_tl.CheckFits(s);
   in_tl.Insert(s);
@@ -215,50 +216,39 @@ void PortReservationTable::Reserve(const CircuitReservation& r) {
   reservations.Increment();
 }
 
-Time PortReservationTable::NextReleaseAfter(Time t) const {
+Time FabricReservationTable::NextReleaseAfter(Time t) const {
   const auto it = std::upper_bound(release_times_.begin(),
                                    release_times_.end(), t + kTimeEps);
   if (it == release_times_.end()) return kTimeInf;
   return *it;
 }
 
-Time PortReservationTable::FirstReleaseAtOrAfter(Time t) const {
+Time FabricReservationTable::FirstReleaseAtOrAfter(Time t) const {
   const auto it =
       std::lower_bound(release_times_.begin(), release_times_.end(), t);
   if (it == release_times_.end()) return kTimeInf;
   return *it;
 }
 
-Time PortReservationTable::LastReleaseBefore(Time t) const {
+Time FabricReservationTable::LastReleaseBefore(Time t) const {
   const auto it =
       std::lower_bound(release_times_.begin(), release_times_.end(), t);
   if (it == release_times_.begin()) return -kTimeInf;
   return *std::prev(it);
 }
 
-std::vector<CircuitReservation> PortReservationTable::InputPortTimeline(
-    PortId i) const {
-  SUNFLOW_CHECK(i >= 0 && i < num_ports_);
-  const PortTimeline& tl = in_slots_[static_cast<std::size_t>(i)];
+std::vector<CircuitReservation> FabricReservationTable::TimelineOf(
+    Side side, PortId p, PlaneId plane) const {
+  const PortTimeline& tl = Timeline(side, p, plane);
   std::vector<CircuitReservation> out;
   out.reserve(tl.slots.size());
   for (const Slot& s : tl.slots) out.push_back(all_[s.index]);
   return out;
 }
 
-std::vector<CircuitReservation> PortReservationTable::OutputPortTimeline(
-    PortId j) const {
-  SUNFLOW_CHECK(j >= 0 && j < num_ports_);
-  const PortTimeline& tl = out_slots_[static_cast<std::size_t>(j)];
-  std::vector<CircuitReservation> out;
-  out.reserve(tl.slots.size());
-  for (const Slot& s : tl.slots) out.push_back(all_[s.index]);
-  return out;
-}
-
-void PortReservationTable::CheckInvariants() const {
-  auto check_side = [&](const std::vector<PortTimeline>& sides) {
-    for (const PortTimeline& tl : sides) {
+void FabricReservationTable::CheckInvariants() const {
+  for (const auto& side : slots_) {
+    for (const PortTimeline& tl : side) {
       Time prev_end = -kTimeInf;
       for (const Slot& s : tl.slots) {
         SUNFLOW_CHECK_MSG(s.start >= prev_end - kTimeEps,
@@ -267,9 +257,7 @@ void PortReservationTable::CheckInvariants() const {
         prev_end = s.end;
       }
     }
-  };
-  check_side(in_slots_);
-  check_side(out_slots_);
+  }
   SUNFLOW_CHECK(std::is_sorted(release_times_.begin(), release_times_.end()));
   SUNFLOW_CHECK(release_times_.size() == all_.size());
 }

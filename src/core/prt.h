@@ -1,19 +1,25 @@
-// Port Reservation Table (§4.1.1).
+// Fabric Reservation Table (§4.1.1, generalised to K switch planes).
 //
-// The PRT records, for every input and output port, when the port is taken
-// and released and by which circuit. Sunflow schedules by making
-// reservations that always respect the port constraint (an optical port
-// carries at most one circuit at a time), so existing reservations are
-// never preempted — the data structure *is* the non-preemption guarantee.
+// The table records, for every (plane, port) pair on both the input and
+// output side, when the port is taken and released and by which circuit.
+// Sunflow schedules by making reservations that always respect the port
+// constraint (an optical port carries at most one circuit per plane at a
+// time), so existing reservations are never preempted — the data structure
+// *is* the non-preemption guarantee. On the classic single-plane fabric
+// everything lives on plane 0 and the legacy PortReservationTable name is
+// an alias for this class.
 //
-// Storage is a flat sorted vector per port (slots are non-overlapping, so
-// sorting by start also sorts the release ends) plus a per-port probe
-// cursor. The planner probes forward in time almost always, so the cursor
-// makes FreeAt / NextStartAfter / BusyUntil O(1) amortized on that access
-// pattern; a probe that jumps backwards (ImportReservations, executors,
-// a new coflow restarting at its arrival time) falls back to binary search
-// and re-seats the cursor there. Release times live in one flat sorted
-// vector shared by all ports, replacing the former std::multiset.
+// Storage is a flat sorted vector per (side, plane, port) timeline (slots
+// are non-overlapping, so sorting by start also sorts the release ends)
+// plus a per-timeline probe cursor. The planner probes forward in time
+// almost always, so the cursor makes FreeAt / NextStartAfter / BusyUntil
+// O(1) amortized on that access pattern; a probe that jumps backwards
+// (ImportReservations, executors, a new coflow restarting at its arrival
+// time) falls back to binary search and re-seats the cursor there.
+// Release times live in one flat sorted vector shared by all ports and
+// planes: a wakeup instant is a release somewhere in the fabric, and the
+// planner's wakeup-index contract (core/sunflow.cc) only needs the global
+// chain, not per-plane ones.
 #pragma once
 
 #include <vector>
@@ -23,51 +29,73 @@
 
 namespace sunflow {
 
-class PortReservationTable {
+class FabricReservationTable {
  public:
-  explicit PortReservationTable(PortId num_ports);
+  /// Which side of the switch a probe addresses. The input and output
+  /// timelines are structurally identical; every probe below takes the
+  /// side as a value instead of duplicating Input*/Output* method bodies.
+  enum class Side { kIn = 0, kOut = 1 };
+
+  explicit FabricReservationTable(PortId num_ports, int num_planes = 1);
 
   PortId num_ports() const { return num_ports_; }
+  int num_planes() const { return num_planes_; }
 
-  /// True iff no reservation on input port i covers time t (half-open
-  /// intervals: a reservation ending exactly at t leaves the port free).
-  bool InputFreeAt(PortId i, Time t) const;
-  bool OutputFreeAt(PortId j, Time t) const;
+  /// True iff no reservation on the (side, plane, port) timeline covers
+  /// time t (half-open intervals: a reservation ending exactly at t leaves
+  /// the port free).
+  bool FreeAt(Side side, PortId p, Time t, PlaneId plane = 0) const;
 
-  /// End of the reservation covering t on the port, or t itself when the
-  /// port is free at t (same tolerance as InputFreeAt/OutputFreeAt). The
-  /// planner's wakeup index buckets a blocked flow under this instant:
-  /// retrying any earlier provably fails because the covering reservation
-  /// is never preempted.
-  Time InputBusyUntil(PortId i, Time t) const;
-  Time OutputBusyUntil(PortId j, Time t) const;
+  /// End of the reservation covering t on the timeline, or t itself when
+  /// the port is free at t (same tolerance as FreeAt). The planner's
+  /// wakeup index buckets a blocked flow under this instant: retrying any
+  /// earlier provably fails because the covering reservation is never
+  /// preempted.
+  Time BusyUntil(Side side, PortId p, Time t, PlaneId plane = 0) const;
+
+  // Legacy single-plane spellings; thin wrappers over the side-indexed
+  // probes above, kept because most call sites only ever touch plane 0.
+  bool InputFreeAt(PortId i, Time t) const { return FreeAt(Side::kIn, i, t); }
+  bool OutputFreeAt(PortId j, Time t) const {
+    return FreeAt(Side::kOut, j, t);
+  }
+  Time InputBusyUntil(PortId i, Time t) const {
+    return BusyUntil(Side::kIn, i, t);
+  }
+  Time OutputBusyUntil(PortId j, Time t) const {
+    return BusyUntil(Side::kOut, j, t);
+  }
 
   /// Start time of the earliest reservation beginning strictly after t on
-  /// the given port; kTimeInf if none. This is the t_m of Algorithm 1
-  /// line 16 ("earliest next-reserv-time"), needed only at the inter-Coflow
-  /// level: a lower-priority coflow must release the port before a
-  /// higher-priority reservation begins.
-  Time NextReservationStartAfter(PortId in, PortId out, Time t) const;
+  /// the given port pair of one plane; kTimeInf if none. This is the t_m
+  /// of Algorithm 1 line 16 ("earliest next-reserv-time"), needed only at
+  /// the inter-Coflow level: a lower-priority coflow must release the port
+  /// before a higher-priority reservation begins.
+  Time NextReservationStartAfter(PortId in, PortId out, Time t,
+                                 PlaneId plane = 0) const;
 
-  /// The earliest reservation beginning strictly after t on either port,
-  /// as (start, release): `start` equals NextReservationStartAfter(in, out,
-  /// t) and `release` is the latest end among the slots (on these two
-  /// ports) that begin exactly at that start. When the gap [t, start) is
-  /// too short for a circuit, `release` is the first instant the blocking
-  /// constraint can change — the planner's wakeup for the gap-limited case.
-  /// Returns (kTimeInf, kTimeInf) when neither port has a later start.
+  /// The earliest reservation beginning strictly after t on either port of
+  /// one plane, as (start, release): `start` equals
+  /// NextReservationStartAfter(in, out, t, plane) and `release` is the
+  /// latest end among the slots (on these two timelines) that begin
+  /// exactly at that start. When the gap [t, start) is too short for a
+  /// circuit, `release` is the first instant the blocking constraint can
+  /// change — the planner's wakeup for the gap-limited case. Returns
+  /// (kTimeInf, kTimeInf) when neither timeline has a later start.
   struct NextReservation {
     Time start = kTimeInf;
     Time release = kTimeInf;
   };
-  NextReservation NextReservationAfter(PortId in, PortId out, Time t) const;
+  NextReservation NextReservationAfter(PortId in, PortId out, Time t,
+                                       PlaneId plane = 0) const;
 
-  /// Records a circuit [in, out] during [start, end) with the given setup
-  /// prefix. Checks the port constraint on both ports.
+  /// Records a circuit [in, out] on r.plane during [start, end) with the
+  /// given setup prefix. Checks the port constraint on both timelines.
   void Reserve(const CircuitReservation& r);
 
-  /// Earliest reservation end strictly after t across all ports (the next
-  /// "circuit release time", Algorithm 1 line 10); kTimeInf if none.
+  /// Earliest reservation end strictly after t across all ports and
+  /// planes (the next "circuit release time", Algorithm 1 line 10);
+  /// kTimeInf if none.
   Time NextReleaseAfter(Time t) const;
 
   /// Earliest reservation end >= t (no epsilon), kTimeInf if none; and the
@@ -78,30 +106,42 @@ class PortReservationTable {
   Time FirstReleaseAtOrAfter(Time t) const;
   Time LastReleaseBefore(Time t) const;
 
-  /// Coflow id owning the reservation that covers time t on the port
-  /// (same half-open tolerance as InputFreeAt), or -1 when the port is
-  /// free at t. Pure probes for trace emission: they binary-search without
-  /// touching the port's probe cursor, so calling them cannot perturb the
-  /// planner's amortized forward-scan pattern.
-  CoflowId InputOwnerAt(PortId i, Time t) const;
-  CoflowId OutputOwnerAt(PortId j, Time t) const;
+  /// Coflow id owning the reservation that covers time t on the timeline
+  /// (same half-open tolerance as FreeAt), or -1 when the port is free at
+  /// t. Pure probes for trace emission: they binary-search without
+  /// touching the timeline's probe cursor, so calling them cannot perturb
+  /// the planner's amortized forward-scan pattern.
+  CoflowId OwnerAt(Side side, PortId p, Time t, PlaneId plane = 0) const;
+  CoflowId InputOwnerAt(PortId i, Time t) const {
+    return OwnerAt(Side::kIn, i, t);
+  }
+  CoflowId OutputOwnerAt(PortId j, Time t) const {
+    return OwnerAt(Side::kOut, j, t);
+  }
 
   /// Coflow id of the earliest reservation beginning strictly after t on
-  /// either port — the blocker in the gap-too-short case of Algorithm 1 —
-  /// or -1 if neither port has a later start. Cursor-free like the owner
-  /// probes above.
-  CoflowId NextOwnerAfter(PortId in, PortId out, Time t) const;
+  /// either port of one plane — the blocker in the gap-too-short case of
+  /// Algorithm 1 — or -1 if neither timeline has a later start.
+  /// Cursor-free like the owner probes above.
+  CoflowId NextOwnerAfter(PortId in, PortId out, Time t,
+                          PlaneId plane = 0) const;
 
   /// All reservations in insertion order.
   const std::vector<CircuitReservation>& reservations() const {
     return all_;
   }
 
-  /// Reservations on one input/output port, sorted by start time.
-  std::vector<CircuitReservation> InputPortTimeline(PortId i) const;
-  std::vector<CircuitReservation> OutputPortTimeline(PortId j) const;
+  /// Reservations on one timeline, sorted by start time.
+  std::vector<CircuitReservation> TimelineOf(Side side, PortId p,
+                                             PlaneId plane = 0) const;
+  std::vector<CircuitReservation> InputPortTimeline(PortId i) const {
+    return TimelineOf(Side::kIn, i);
+  }
+  std::vector<CircuitReservation> OutputPortTimeline(PortId j) const {
+    return TimelineOf(Side::kOut, j);
+  }
 
-  /// Validates the full table (no overlap on any port; sane windows).
+  /// Validates the full table (no overlap on any timeline; sane windows).
   void CheckInvariants() const;
 
  private:
@@ -111,12 +151,12 @@ class PortReservationTable {
     std::size_t index;  ///< into all_
   };
 
-  // One port's reservations, sorted by start (equivalently by end: slots
-  // on a port never overlap). `cursor` caches the last probe position —
-  // the index of the first slot whose end may still matter (end > t + ε
-  // for the last probed t). It is advanced linearly on forward probes and
-  // re-seated by binary search when a probe jumps backwards, so it is
-  // always exact, never a heuristic.
+  // One (side, plane, port) timeline, sorted by start (equivalently by
+  // end: slots on a timeline never overlap). `cursor` caches the last
+  // probe position — the index of the first slot whose end may still
+  // matter (end > t + ε for the last probed t). It is advanced linearly on
+  // forward probes and re-seated by binary search when a probe jumps
+  // backwards, so it is always exact, never a heuristic.
   struct PortTimeline {
     std::vector<Slot> slots;
     mutable std::size_t cursor = 0;
@@ -141,11 +181,20 @@ class PortReservationTable {
     const Slot* FirstStartAfter(Time t) const;
   };
 
+  const PortTimeline& Timeline(Side side, PortId p, PlaneId plane) const;
+  PortTimeline& Timeline(Side side, PortId p, PlaneId plane);
+
   PortId num_ports_;
-  std::vector<PortTimeline> in_slots_;
-  std::vector<PortTimeline> out_slots_;
+  int num_planes_;
+  /// Indexed [side][plane * num_ports_ + port]. Keeping one flat vector
+  /// per side preserves plane-0 locality for the K=1 fast path.
+  std::vector<PortTimeline> slots_[2];
   std::vector<Time> release_times_;  ///< sorted ascending, duplicates kept
   std::vector<CircuitReservation> all_;
 };
+
+/// The paper-era name: on the single-plane fabric the two are the same
+/// structure, so existing call sites keep compiling unchanged.
+using PortReservationTable = FabricReservationTable;
 
 }  // namespace sunflow

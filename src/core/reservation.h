@@ -10,8 +10,10 @@ namespace sunflow {
 
 /// One scheduled circuit [in, out] occupying both ports during
 /// [start, end). The first `setup` seconds are the reconfiguration delay δ
-/// (no data moves); the remainder transmits at full link bandwidth. A
+/// (no data moves); the remainder transmits at the plane's link rate. A
 /// reservation with setup == 0 continues an already-established circuit.
+/// `plane` is the switch plane (core) carrying the circuit; 0 on the
+/// classic single-plane fabric (core/fabric.h).
 struct CircuitReservation {
   PortId in = 0;
   PortId out = 0;
@@ -19,6 +21,7 @@ struct CircuitReservation {
   Time end = 0;
   Time setup = 0;
   CoflowId coflow = -1;
+  PlaneId plane = 0;
 
   Time length() const { return end - start; }
   Time transmit_begin() const { return start + setup; }

@@ -115,15 +115,46 @@ PlanRequest PlanRequest::FromCoflow(const Coflow& coflow, Bandwidth bandwidth,
 }
 
 SunflowPlanner::SunflowPlanner(PortId num_ports, SunflowConfig config)
-    : prt_(num_ports), config_(config) {
+    : prt_(num_ports, config.fabric.num_planes()), config_(std::move(config)) {
   SUNFLOW_CHECK(config_.bandwidth > 0);
   SUNFLOW_CHECK(config_.delta >= 0);
+  // Resolve the effective plane list once: the empty (default) fabric is
+  // one plane inheriting the config's delta and bandwidth, which makes
+  // plane_scale_[0] exactly 1.0 — the K=1 equivalence contract
+  // (core/fabric.h) rests on that.
+  if (config_.fabric.is_default()) {
+    planes_ = {PlaneSpec{config_.delta, config_.bandwidth}};
+  } else {
+    planes_ = config_.fabric.planes;
+  }
+  plane_scale_.reserve(planes_.size());
+  for (const PlaneSpec& p : planes_) {
+    SUNFLOW_CHECK(p.delta >= 0);
+    SUNFLOW_CHECK(p.rate > 0);
+    plane_scale_.push_back(config_.bandwidth / p.rate);
+  }
+  established_.resize(planes_.size());
 }
 
 void SunflowPlanner::SetEstablishedCircuits(EstablishedCircuits circuits,
                                             Time at) {
-  established_ = std::move(circuits);
+  established_.assign(planes_.size(), {});
+  established_[0] = std::move(circuits);
   established_at_ = at;
+}
+
+void SunflowPlanner::SetEstablishedCircuitsByPlane(FabricEstablished by_plane,
+                                                   Time at) {
+  SUNFLOW_CHECK(by_plane.size() == planes_.size());
+  established_ = std::move(by_plane);
+  established_at_ = at;
+}
+
+bool SunflowPlanner::has_established() const {
+  for (const EstablishedCircuits& e : established_) {
+    if (!e.empty()) return true;
+  }
+  return false;
 }
 
 void SunflowPlanner::SetReservationCallback(ReservationCallback callback) {
@@ -141,12 +172,14 @@ void SunflowPlanner::ImportReservations(
                       .coflow = r.coflow,
                       .in = r.in,
                       .out = r.out,
-                      .value = r.setup});
+                      .value = r.setup,
+                      .plane = r.plane});
     obs::Emit(sink_, {.type = obs::EventType::kCircuitTeardown,
                       .t = r.end,
                       .coflow = r.coflow,
                       .in = r.in,
-                      .out = r.out});
+                      .out = r.out,
+                      .plane = r.plane});
   }
 }
 
@@ -235,10 +268,9 @@ Time SunflowPlanner::ScheduleOne(const PlanRequest& request,
   // shrinks as t advances (true for replay carry-over, where circuits are
   // observed up exactly at the replan instant), so this corner runs the
   // reference loop instead.
-  if (!established_.empty() && established_at_ > request.start + kTimeEps) {
+  if (has_established() && established_at_ > request.start + kTimeEps) {
     return ScheduleOneRescan(request, out);
   }
-  const Time delta = config_.delta;
   const std::vector<FlowDemand>& ordered = Ordered(request);
 
   Time finish = request.start;
@@ -308,76 +340,123 @@ Time SunflowPlanner::ScheduleOne(const PlanRequest& request,
   // reservation whose start capped the gap. Every wakeup is the end of a
   // recorded reservation and lies strictly beyond t + ε, so the walk
   // always makes progress.
+  // Plane assignment is earliest-feasible-plane greedy: planes are probed
+  // in id order at the current instant and the first one where the pair is
+  // free and the gap admits a useful circuit takes the reservation. When
+  // every plane is blocked, the flow sleeps until the earliest instant any
+  // plane's binding constraint can change, and the blocked episode blames
+  // that plane's blocker (ties to the lowest plane id). With one plane
+  // this is exactly the single-switch MakeReservation, branch for branch.
+  const auto num_planes = static_cast<PlaneId>(planes_.size());
   auto try_flow = [&](std::size_t idx) -> Time {
     const FlowDemand& f = ordered[idx];
-    const Time in_busy = prt_.InputBusyUntil(f.src, t);
-    const Time out_busy = prt_.OutputBusyUntil(f.dst, t);
-    if (in_busy > t || out_busy > t) {
-      if (sink_ != nullptr) {
+    Time best_wake = kTimeInf;
+    PlaneId best_plane = 0;
+    bool best_gap_limited = false;
+    Time best_in_busy = 0;
+    Time best_out_busy = 0;
+    for (PlaneId p = 0; p < num_planes; ++p) {
+      const Time in_busy =
+          prt_.BusyUntil(FabricReservationTable::Side::kIn, f.src, t, p);
+      const Time out_busy =
+          prt_.BusyUntil(FabricReservationTable::Side::kOut, f.dst, t, p);
+      if (in_busy > t || out_busy > t) {
+        const Time wake = std::max(in_busy, out_busy);
+        if (wake < best_wake) {
+          best_wake = wake;
+          best_plane = p;
+          best_gap_limited = false;
+          best_in_busy = in_busy;
+          best_out_busy = out_busy;
+        }
+        continue;
+      }
+      // Setup is free when this pair is already an established circuit on
+      // this plane and the reservation begins at the instant the circuit
+      // was observed up.
+      Time setup = planes_[static_cast<std::size_t>(p)].delta;
+      if (TimeEq(t, established_at_)) {
+        const EstablishedCircuits& est =
+            established_[static_cast<std::size_t>(p)];
+        auto it = est.find(f.src);
+        if (it != est.end() && it->second == f.dst) setup = 0;
+      }
+      const auto [tm, tm_release] =
+          prt_.NextReservationAfter(f.src, f.dst, t, p);
+      const Time lm = tm - t;  // max length before blocking a prior one
+      // Desired length: the remaining demand is in processing units at the
+      // config bandwidth; this plane drains it plane_scale_ times slower
+      // (or faster). Scale 1.0 on the default fabric keeps the arithmetic
+      // bit-identical to the single-plane code.
+      const Time ld =
+          setup + remaining[idx] * plane_scale_[static_cast<std::size_t>(p)];
+      // A reservation of length <= setup would transmit nothing: skip.
+      if (lm <= setup + kTimeEps) {
+        if (tm_release < best_wake) {
+          best_wake = tm_release;
+          best_plane = p;
+          best_gap_limited = true;
+        }
+        continue;
+      }
+      const Time l = std::min(lm, ld);
+      const CircuitReservation reservation{f.src, f.dst,        t, t + l,
+                                           setup, request.coflow, p};
+      prt_.Reserve(reservation);
+      ++reservations_made;
+      close_episode(idx, f);
+      if (callback_) callback_(reservation);
+      obs::Emit(sink_, {.type = obs::EventType::kCircuitSetup,
+                        .t = reservation.start,
+                        .dur = reservation.length(),
+                        .coflow = request.coflow,
+                        .in = f.src,
+                        .out = f.dst,
+                        .value = setup,
+                        .plane = p});
+      obs::Emit(sink_, {.type = obs::EventType::kCircuitTeardown,
+                        .t = reservation.end,
+                        .coflow = request.coflow,
+                        .in = f.src,
+                        .out = f.dst,
+                        .plane = p});
+      const Time rest = std::max(0.0, ld - l);
+      if (rest <= kTimeEps) {
+        remaining[idx] = 0;
+        const Time flow_finish = t + l;
+        out.flow_finish[{request.coflow, f.src, f.dst}] = flow_finish;
+        finish = std::max(finish, flow_finish);
+        obs::Emit(sink_, {.type = obs::EventType::kFlowFinished,
+                          .t = flow_finish,
+                          .coflow = request.coflow,
+                          .in = f.src,
+                          .out = f.dst});
+        return kTimeInf;
+      }
+      remaining[idx] = rest / plane_scale_[static_cast<std::size_t>(p)];
+      return reservation.end;
+    }
+    // Every plane blocked: report the binding constraint of the plane that
+    // wakes first.
+    if (sink_ != nullptr) {
+      if (best_gap_limited) {
+        note_blocked(idx, f, obs::BlockReason::kCircuitConflict,
+                     prt_.NextOwnerAfter(f.src, f.dst, t, best_plane));
+      } else {
         // Blame the port whose release is the binding constraint (the
         // later of the two busy-until instants — that is the wakeup).
-        const bool input =
-            in_busy > t && (out_busy <= t || in_busy >= out_busy);
+        const bool input = best_in_busy > t &&
+                           (best_out_busy <= t || best_in_busy >= best_out_busy);
         note_blocked(idx, f,
                      input ? obs::BlockReason::kInputPortBusy
                            : obs::BlockReason::kOutputPortBusy,
-                     input ? prt_.InputOwnerAt(f.src, t)
-                           : prt_.OutputOwnerAt(f.dst, t));
+                     input ? prt_.OwnerAt(FabricReservationTable::Side::kIn,
+                                          f.src, t, best_plane)
+                           : prt_.OwnerAt(FabricReservationTable::Side::kOut,
+                                          f.dst, t, best_plane));
       }
-      return std::max(in_busy, out_busy);
     }
-    // Setup is free when this pair is already an established circuit and
-    // the reservation begins at the instant the circuit was observed up.
-    Time setup = delta;
-    if (TimeEq(t, established_at_)) {
-      auto it = established_.find(f.src);
-      if (it != established_.end() && it->second == f.dst) setup = 0;
-    }
-    const auto [tm, tm_release] = prt_.NextReservationAfter(f.src, f.dst, t);
-    const Time lm = tm - t;  // max length before blocking a prior reservation
-    const Time ld = setup + remaining[idx];  // desired length
-    // A reservation of length <= setup would transmit nothing: skip.
-    if (lm <= setup + kTimeEps) {
-      if (sink_ != nullptr) {
-        note_blocked(idx, f, obs::BlockReason::kCircuitConflict,
-                     prt_.NextOwnerAfter(f.src, f.dst, t));
-      }
-      return tm_release;
-    }
-    const Time l = std::min(lm, ld);
-    const CircuitReservation reservation{f.src, f.dst, t, t + l, setup,
-                                         request.coflow};
-    prt_.Reserve(reservation);
-    ++reservations_made;
-    close_episode(idx, f);
-    if (callback_) callback_(reservation);
-    obs::Emit(sink_, {.type = obs::EventType::kCircuitSetup,
-                      .t = reservation.start,
-                      .dur = reservation.length(),
-                      .coflow = request.coflow,
-                      .in = f.src,
-                      .out = f.dst,
-                      .value = setup});
-    obs::Emit(sink_, {.type = obs::EventType::kCircuitTeardown,
-                      .t = reservation.end,
-                      .coflow = request.coflow,
-                      .in = f.src,
-                      .out = f.dst});
-    const Time rest = std::max(0.0, ld - l);
-    if (rest <= kTimeEps) {
-      remaining[idx] = 0;
-      const Time flow_finish = t + l;
-      out.flow_finish[{request.coflow, f.src, f.dst}] = flow_finish;
-      finish = std::max(finish, flow_finish);
-      obs::Emit(sink_, {.type = obs::EventType::kFlowFinished,
-                        .t = flow_finish,
-                        .coflow = request.coflow,
-                        .in = f.src,
-                        .out = f.dst});
-      return kTimeInf;
-    }
-    remaining[idx] = rest;
-    return reservation.end;
+    return best_wake;
   };
 
   // First pass at the request start, in Ordered() order, dropping
@@ -425,7 +504,6 @@ Time SunflowPlanner::ScheduleOne(const PlanRequest& request,
 Time SunflowPlanner::ScheduleOneRescan(const PlanRequest& request,
                                        SunflowSchedule& out) {
   SUNFLOW_PROFILE_SCOPE("core.plan");
-  const Time delta = config_.delta;
   std::vector<FlowDemand> pending = Ordered(request);
   // Drop zero-demand entries up front (Equation 3: t_ij = 0 when p_ij = 0).
   std::erase_if(pending,
@@ -476,73 +554,112 @@ Time SunflowPlanner::ScheduleOneRescan(const PlanRequest& request,
                       .count = static_cast<std::int64_t>(reason)});
   };
 
-  // MakeReservation (Algorithm 1 lines 13-23). Returns remaining demand.
+  // MakeReservation (Algorithm 1 lines 13-23), generalised to the
+  // earliest-feasible-plane greedy exactly as in ScheduleOne (the rescan
+  // is the differential oracle, so its plane choices and emissions must
+  // match branch for branch). Returns remaining demand in processing
+  // units at the config bandwidth.
+  const auto num_planes = static_cast<PlaneId>(planes_.size());
   auto make_reservation = [&](const FlowDemand& f) -> Time {
-    if (!prt_.InputFreeAt(f.src, t) || !prt_.OutputFreeAt(f.dst, t)) {
-      if (sink_ != nullptr) {
-        const Time in_busy = prt_.InputBusyUntil(f.src, t);
-        const Time out_busy = prt_.OutputBusyUntil(f.dst, t);
-        const bool input =
-            in_busy > t && (out_busy <= t || in_busy >= out_busy);
+    Time best_wake = kTimeInf;
+    PlaneId best_plane = 0;
+    bool best_gap_limited = false;
+    Time best_in_busy = 0;
+    Time best_out_busy = 0;
+    for (PlaneId p = 0; p < num_planes; ++p) {
+      const Time in_busy =
+          prt_.BusyUntil(FabricReservationTable::Side::kIn, f.src, t, p);
+      const Time out_busy =
+          prt_.BusyUntil(FabricReservationTable::Side::kOut, f.dst, t, p);
+      if (in_busy > t || out_busy > t) {
+        const Time wake = std::max(in_busy, out_busy);
+        if (wake < best_wake) {
+          best_wake = wake;
+          best_plane = p;
+          best_gap_limited = false;
+          best_in_busy = in_busy;
+          best_out_busy = out_busy;
+        }
+        continue;
+      }
+      // Setup is free when this pair is already an established circuit on
+      // this plane and the reservation begins at the instant the circuit
+      // was observed up.
+      Time setup = planes_[static_cast<std::size_t>(p)].delta;
+      if (TimeEq(t, established_at_)) {
+        const EstablishedCircuits& est =
+            established_[static_cast<std::size_t>(p)];
+        auto it = est.find(f.src);
+        if (it != est.end() && it->second == f.dst) setup = 0;
+      }
+      const auto [tm, tm_release] =
+          prt_.NextReservationAfter(f.src, f.dst, t, p);
+      const Time lm = tm - t;  // max length before blocking a prior one
+      const Time ld =
+          setup + f.processing * plane_scale_[static_cast<std::size_t>(p)];
+      // A reservation of length <= setup would transmit nothing: skip.
+      if (lm <= setup + kTimeEps) {
+        if (tm_release < best_wake) {
+          best_wake = tm_release;
+          best_plane = p;
+          best_gap_limited = true;
+        }
+        continue;
+      }
+      const Time l = std::min(lm, ld);
+      const CircuitReservation reservation{f.src, f.dst,        t, t + l,
+                                           setup, request.coflow, p};
+      prt_.Reserve(reservation);
+      ++reservations_made;
+      if (sink_ != nullptr) close_episode(f);
+      if (callback_) callback_(reservation);
+      obs::Emit(sink_, {.type = obs::EventType::kCircuitSetup,
+                        .t = reservation.start,
+                        .dur = reservation.length(),
+                        .coflow = request.coflow,
+                        .in = f.src,
+                        .out = f.dst,
+                        .value = setup,
+                        .plane = p});
+      obs::Emit(sink_, {.type = obs::EventType::kCircuitTeardown,
+                        .t = reservation.end,
+                        .coflow = request.coflow,
+                        .in = f.src,
+                        .out = f.dst,
+                        .plane = p});
+      const Time remaining = std::max(0.0, ld - l);
+      if (remaining <= kTimeEps) {
+        // Flow finished in this reservation.
+        const Time flow_finish = t + l;
+        out.flow_finish[{request.coflow, f.src, f.dst}] = flow_finish;
+        finish = std::max(finish, flow_finish);
+        obs::Emit(sink_, {.type = obs::EventType::kFlowFinished,
+                          .t = flow_finish,
+                          .coflow = request.coflow,
+                          .in = f.src,
+                          .out = f.dst});
+        return 0;
+      }
+      return remaining / plane_scale_[static_cast<std::size_t>(p)];
+    }
+    // Every plane blocked at t; demand is unchanged until a release.
+    if (sink_ != nullptr) {
+      if (best_gap_limited) {
+        note_blocked(f, obs::BlockReason::kCircuitConflict,
+                     prt_.NextOwnerAfter(f.src, f.dst, t, best_plane));
+      } else {
+        const bool input = best_in_busy > t &&
+                           (best_out_busy <= t || best_in_busy >= best_out_busy);
         note_blocked(f,
                      input ? obs::BlockReason::kInputPortBusy
                            : obs::BlockReason::kOutputPortBusy,
-                     input ? prt_.InputOwnerAt(f.src, t)
-                           : prt_.OutputOwnerAt(f.dst, t));
+                     input ? prt_.OwnerAt(FabricReservationTable::Side::kIn,
+                                          f.src, t, best_plane)
+                           : prt_.OwnerAt(FabricReservationTable::Side::kOut,
+                                          f.dst, t, best_plane));
       }
-      return f.processing;
     }
-    // Setup is free when this pair is already an established circuit and
-    // the reservation begins at the instant the circuit was observed up.
-    Time setup = delta;
-    if (TimeEq(t, established_at_)) {
-      auto it = established_.find(f.src);
-      if (it != established_.end() && it->second == f.dst) setup = 0;
-    }
-    const Time tm = prt_.NextReservationStartAfter(f.src, f.dst, t);
-    const Time lm = tm - t;  // max length before blocking a prior reservation
-    const Time ld = setup + f.processing;  // desired length
-    // A reservation of length <= setup would transmit nothing: skip.
-    if (lm <= setup + kTimeEps) {
-      if (sink_ != nullptr) {
-        note_blocked(f, obs::BlockReason::kCircuitConflict,
-                     prt_.NextOwnerAfter(f.src, f.dst, t));
-      }
-      return f.processing;
-    }
-    const Time l = std::min(lm, ld);
-    const CircuitReservation reservation{f.src, f.dst, t, t + l, setup,
-                                         request.coflow};
-    prt_.Reserve(reservation);
-    ++reservations_made;
-    if (sink_ != nullptr) close_episode(f);
-    if (callback_) callback_(reservation);
-    obs::Emit(sink_, {.type = obs::EventType::kCircuitSetup,
-                      .t = reservation.start,
-                      .dur = reservation.length(),
-                      .coflow = request.coflow,
-                      .in = f.src,
-                      .out = f.dst,
-                      .value = setup});
-    obs::Emit(sink_, {.type = obs::EventType::kCircuitTeardown,
-                      .t = reservation.end,
-                      .coflow = request.coflow,
-                      .in = f.src,
-                      .out = f.dst});
-    const Time remaining = std::max(0.0, ld - l);
-    if (remaining <= kTimeEps) {
-      // Flow finished in this reservation.
-      const Time flow_finish = t + l;
-      out.flow_finish[{request.coflow, f.src, f.dst}] = flow_finish;
-      finish = std::max(finish, flow_finish);
-      obs::Emit(sink_, {.type = obs::EventType::kFlowFinished,
-                        .t = flow_finish,
-                        .coflow = request.coflow,
-                        .in = f.src,
-                        .out = f.dst});
-      return 0;
-    }
-    return remaining;
+    return f.processing;
   };
 
   while (!pending.empty()) {
@@ -606,7 +723,7 @@ SunflowSchedule SunflowPlanner::ScheduleAll(
   std::vector<std::shared_ptr<const PlanMemo::Delta>> prefix;
   {
     SUNFLOW_PROFILE_SCOPE("core.plan.reuse");
-    PlanMemo::Key key = PlanMemo::BaseKey(prt_.num_ports(), config_,
+    PlanMemo::Key key = PlanMemo::BaseKey(prt_.num_ports(), config_, planes_,
                                           established_, established_at_);
     keys.reserve(requests.size());
     for (const PlanRequest* req : requests) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "core/fabric.h"
 #include "core/prt.h"
 #include "core/reservation.h"
 #include "trace/coflow.h"
@@ -57,6 +58,11 @@ struct SunflowConfig {
   /// re-derived. Output is byte-identical either way; disable to force
   /// every replan through the planner (e.g. when benchmarking it).
   bool plan_reuse = true;
+  /// The switch planes the planner may assign circuits to (core/fabric.h).
+  /// Empty (the default) means one plane inheriting (delta, bandwidth)
+  /// from this config — the classic single-switch fabric, byte-identical
+  /// to FabricSpec::Uniform(1, delta, bandwidth).
+  FabricSpec fabric;
 };
 
 /// A circuit (in → out) that is already established (set up and
@@ -64,6 +70,10 @@ struct SunflowConfig {
 /// beginning exactly at plan start need no setup δ. Used by the replay
 /// engine to carry circuits across replans.
 using EstablishedCircuits = std::map<PortId, PortId>;
+
+/// Established circuits per plane, indexed by PlaneId. The single-plane
+/// fabric uses a one-element vector (everything on plane 0).
+using FabricEstablished = std::vector<EstablishedCircuits>;
 
 /// Result of planning one or more coflows.
 struct SunflowSchedule {
@@ -138,7 +148,12 @@ class SunflowPlanner {
   SunflowSchedule ScheduleAll(const std::vector<const PlanRequest*>& requests);
 
   /// Declares circuits already up at plan start (replay carry-over).
+  /// SetEstablishedCircuits places everything on plane 0; the ByPlane
+  /// variant declares per-plane carry-over and must pass exactly
+  /// num_planes() maps. (Distinct names, not overloads: a braced list of
+  /// pairs would be ambiguous between the map and the vector of maps.)
   void SetEstablishedCircuits(EstablishedCircuits circuits, Time at);
+  void SetEstablishedCircuitsByPlane(FabricEstablished by_plane, Time at);
 
   /// §6 latency hiding: "Sunflow may schedule each computed circuit
   /// individually, thus hiding the scheduling latency by overlapping
@@ -166,13 +181,23 @@ class SunflowPlanner {
   const PortReservationTable& prt() const { return prt_; }
   const SunflowConfig& config() const { return config_; }
 
+  /// The effective plane list: config().fabric.planes, or the implicit
+  /// single plane {delta, bandwidth} when the fabric spec is empty.
+  const std::vector<PlaneSpec>& planes() const { return planes_; }
+  int num_planes() const { return static_cast<int>(planes_.size()); }
+
   // Introspection for the parallel group planner (core/components.cc):
   // worker planners must replicate the established-circuit state, and the
   // parallel path is only output-equivalent when no callback observes the
   // per-reservation stream mid-plan.
   const EstablishedCircuits& established_circuits() const {
+    return established_[0];
+  }
+  const FabricEstablished& established_by_plane() const {
     return established_;
   }
+  /// True iff any plane has established circuits.
+  bool has_established() const;
   Time established_at() const { return established_at_; }
   bool has_reservation_callback() const {
     return static_cast<bool>(callback_);
@@ -186,7 +211,13 @@ class SunflowPlanner {
 
   PortReservationTable prt_;
   SunflowConfig config_;
-  EstablishedCircuits established_;
+  std::vector<PlaneSpec> planes_;
+  /// Canonical-demand scale per plane: bandwidth / planes_[p].rate. A
+  /// flow's remaining demand is kept in processing units at the config
+  /// bandwidth; plane p transmits it in remaining * plane_scale_[p]
+  /// seconds. Exactly 1.0 on the default fabric (x*1.0 == x bitwise).
+  std::vector<double> plane_scale_;
+  FabricEstablished established_;
   Time established_at_ = -1;
   ReservationCallback callback_;
   obs::TraceSink* sink_ = nullptr;

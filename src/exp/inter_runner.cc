@@ -68,6 +68,7 @@ InterComparison RunInterComparison(const Trace& trace,
     engine::EngineConfig ec;
     ec.sunflow.bandwidth = config.bandwidth;
     ec.sunflow.delta = config.delta;
+    ec.sunflow.fabric = config.fabric;
     ec.carry_over_circuits = config.carry_over_circuits;
     ec.sink = config.sink;
     ec.plan_pool = &pool;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fabric.h"
 #include "sim/circuit_replay.h"
 #include "trace/coflow.h"
 
@@ -18,6 +19,10 @@ namespace sunflow::exp {
 struct InterRunConfig {
   Bandwidth bandwidth = Gbps(1);
   Time delta = Millis(10);
+  /// Switch-plane layout for the optical arm (core/fabric.h). Empty =
+  /// classic single-plane fabric; Uniform(1, delta, bandwidth) is
+  /// byte-identical to empty (the K=1 equivalence contract).
+  FabricSpec fabric;
   bool carry_over_circuits = true;
   /// Named kernel scenario (sim/engine registry) for the optical-switch
   /// arm of the comparison. "circuit" is the paper's Sunflow replay;

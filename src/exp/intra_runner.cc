@@ -53,6 +53,7 @@ void RunSunflowOne(const Coflow& coflow, PortId num_ports,
   SunflowConfig sc;
   sc.bandwidth = config.bandwidth;
   sc.delta = config.delta;
+  sc.fabric = config.fabric;
   sc.order = config.order;
   sc.shuffle_seed = config.shuffle_seed;
   const Coflow at_zero = coflow.WithArrival(0);
@@ -81,6 +82,7 @@ void RunScenarioOne(const Coflow& coflow, PortId num_ports,
   engine::EngineConfig ec;
   ec.sunflow.bandwidth = config.bandwidth;
   ec.sunflow.delta = config.delta;
+  ec.sunflow.fabric = config.fabric;
   ec.sunflow.order = config.order;
   ec.sunflow.shuffle_seed = config.shuffle_seed;
   ec.sink = sink;

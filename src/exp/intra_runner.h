@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fabric.h"
 #include "core/sunflow.h"
 #include "obs/trace_sink.h"
 #include "sched/edmonds.h"
@@ -26,6 +27,10 @@ const char* ToString(IntraAlgorithm a);
 struct IntraRunConfig {
   Bandwidth bandwidth = Gbps(1);
   Time delta = Millis(10);
+  /// Sunflow only: switch-plane layout (core/fabric.h). Empty = classic
+  /// single-plane fabric; Uniform(1, delta, bandwidth) is byte-identical
+  /// to empty (the K=1 equivalence contract the golden suite pins).
+  FabricSpec fabric;
   /// Sunflow only: reservation ordering (§5.3.1 sensitivity).
   ReservationOrder order = ReservationOrder::kOrderedPort;
   std::uint64_t shuffle_seed = 1;

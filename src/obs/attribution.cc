@@ -207,6 +207,7 @@ const char* ToString(CriticalPathStep::Kind kind) {
 AttributionReport Attribute(std::span<const Event> events) {
   std::map<CoflowId, CoflowEvents> per_coflow;
   std::vector<const Event*> plans;
+  std::map<PlaneId, Time> delta_by_plane;
 
   for (const Event& e : events) {
     if (e.type == EventType::kAssignmentComputed) {
@@ -230,6 +231,7 @@ AttributionReport Attribute(std::span<const Event> events) {
         const Time setup = std::clamp(e.value, 0.0, e.dur);
         AddInterval(ce, e.t, e.t + setup, kDelta, -1);
         AddInterval(ce, e.t + setup, e.t + e.dur, kTransmit, -1);
+        if (setup > 0) delta_by_plane[e.plane] += setup;
         ce.setups.push_back(e);
         break;
       }
@@ -320,6 +322,7 @@ AttributionReport Attribute(std::span<const Event> events) {
     report.critical_path =
         WalkCriticalPath(per_coflow.at(report.critical_coflow));
   }
+  report.delta_seconds_by_plane = std::move(delta_by_plane);
   return report;
 }
 

@@ -17,6 +17,7 @@
 // (nothing here runs inside a replay loop).
 #pragma once
 
+#include <map>
 #include <span>
 #include <vector>
 
@@ -95,6 +96,12 @@ struct AttributionReport {
   /// Critical path of the largest-CCT coflow, completion first.
   CoflowId critical_coflow = -1;
   std::vector<CriticalPathStep> critical_path;
+
+  /// Physical δ seconds paid per switch plane: the setup prefixes of every
+  /// circuit span, summed over the whole trace and keyed by the span's
+  /// plane. Single-plane traces carry one entry under plane 0; on a K-core
+  /// fabric this shows which planes absorb the reconfiguration cost.
+  std::map<PlaneId, Time> delta_seconds_by_plane;
 };
 
 /// Runs the decomposition over a trace. Coflows without a CoflowCompleted

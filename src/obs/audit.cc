@@ -29,6 +29,7 @@ struct Span {
   CoflowId coflow = -1;
   PortId in = -1;
   PortId out = -1;
+  PlaneId plane = 0;
 };
 
 class Auditor {
@@ -55,6 +56,7 @@ std::string FmtSpan(const Span& s) {
   std::ostringstream os;
   os << "coflow " << s.coflow << " [" << s.in << "->" << s.out << ") t=["
      << s.begin << ", " << s.end << ") setup=" << s.setup;
+  if (s.plane != 0) os << " plane=" << s.plane;
   return os.str();
 }
 
@@ -94,9 +96,14 @@ AuditReport AuditTrace(std::span<const Event> events,
     return shared ? Ctx{-1, 0} : Ctx{id, life_of(id)};
   };
 
-  std::map<std::pair<Ctx, PortId>, std::vector<Span>> by_in, by_out;
+  // Port exclusivity is per switch plane: a K-core fabric has K physical
+  // ports behind every logical port id, so the timelines are keyed by
+  // (ctx, plane, port). Pair-level checks stay keyed by the logical pair
+  // (flow finishes carry no plane) with the plane recorded on each span.
+  std::map<std::tuple<Ctx, PlaneId, PortId>, std::vector<Span>> by_in, by_out;
   std::map<std::tuple<Ctx, PortId, PortId>, std::vector<Span>> by_pair;
-  std::map<std::tuple<Ctx, PortId, PortId>, std::vector<Time>> teardowns;
+  std::map<std::tuple<Ctx, PlaneId, PortId, PortId>, std::vector<Time>>
+      teardowns;
   struct FlowKeyT {
     Ctx ctx;
     CoflowId coflow;
@@ -121,12 +128,13 @@ AuditReport AuditTrace(std::span<const Event> events,
   for (const Event& e : events) {
     switch (e.type) {
       case EventType::kCircuitSetup: {
-        const Span s{e.t, e.t + e.dur, e.value, e.coflow, e.in, e.out};
+        const Span s{e.t, e.t + e.dur, e.value, e.coflow, e.in, e.out,
+                     e.plane};
         const Ctx ctx = ctx_of(e.coflow);
         // Negative ports are the dummy rows/columns square matchings are
         // padded with — no physical port, so no exclusivity to audit.
-        if (e.in >= 0) by_in[{ctx, e.in}].push_back(s);
-        if (e.out >= 0) by_out[{ctx, e.out}].push_back(s);
+        if (e.in >= 0) by_in[{ctx, e.plane, e.in}].push_back(s);
+        if (e.out >= 0) by_out[{ctx, e.plane, e.out}].push_back(s);
         by_pair[{ctx, e.in, e.out}].push_back(s);
         if (e.value > kTimeEps) {
           ++paying_setups;
@@ -135,7 +143,7 @@ AuditReport AuditTrace(std::span<const Event> events,
         break;
       }
       case EventType::kCircuitTeardown:
-        teardowns[{ctx_of(e.coflow), e.in, e.out}].push_back(e.t);
+        teardowns[{ctx_of(e.coflow), e.plane, e.in, e.out}].push_back(e.t);
         break;
       case EventType::kCoflowAdmitted: {
         auto& lives = coflows[e.coflow];
@@ -210,8 +218,10 @@ AuditReport AuditTrace(std::span<const Event> events,
     }
   }
 
-  // port-exclusivity: sort each port's spans and look for overlap.
-  auto check_port = [&](const char* side, PortId port,
+  // port-exclusivity: sort each (plane, port) timeline's spans and look
+  // for overlap. Distinct planes own distinct physical ports, so spans on
+  // different planes never conflict.
+  auto check_port = [&](const char* side, PlaneId plane, PortId port,
                         std::vector<Span>& spans) {
     std::sort(spans.begin(), spans.end(),
               [](const Span& a, const Span& b) { return a.begin < b.begin; });
@@ -220,19 +230,25 @@ AuditReport AuditTrace(std::span<const Event> events,
       const Span& cur = spans[i];
       audit.Check("port-exclusivity", cur.begin >= prev.end - kTimeEps, [&] {
         std::ostringstream os;
-        os << side << " port " << port << " double-booked: " << FmtSpan(prev)
-           << " overlaps " << FmtSpan(cur);
+        os << side << " port " << port;
+        if (plane != 0) os << " (plane " << plane << ")";
+        os << " double-booked: " << FmtSpan(prev) << " overlaps "
+           << FmtSpan(cur);
         return os.str();
       });
     }
   };
-  for (auto& [key, spans] : by_in) check_port("input", key.second, spans);
-  for (auto& [key, spans] : by_out) check_port("output", key.second, spans);
+  for (auto& [key, spans] : by_in)
+    check_port("input", std::get<1>(key), std::get<2>(key), spans);
+  for (auto& [key, spans] : by_out)
+    check_port("output", std::get<1>(key), std::get<2>(key), spans);
 
   // delta-bounds + delta-carryover.
+  std::map<PlaneId, Time> last_end_by_plane;
   for (auto& [key, spans] : by_pair) {
     std::sort(spans.begin(), spans.end(),
               [](const Span& a, const Span& b) { return a.begin < b.begin; });
+    last_end_by_plane.clear();
     for (std::size_t i = 0; i < spans.size(); ++i) {
       const Span& s = spans[i];
       audit.Check("delta-bounds",
@@ -241,14 +257,20 @@ AuditReport AuditTrace(std::span<const Event> events,
                   [&] { return "setup outside span: " + FmtSpan(s); });
       if (any_delta && s.setup <= kTimeEps) {
         // δ is paid exactly once per reconfiguration: a free setup must
-        // continue a circuit that was already up on this pair.
+        // continue a circuit that was already up on this pair — on the
+        // same plane (a circuit carried over on plane p says nothing
+        // about plane q's switch state).
+        const auto prev = last_end_by_plane.find(s.plane);
         const bool continues =
-            i > 0 && SameInstant(spans[i - 1].end, s.begin);
+            prev != last_end_by_plane.end() && SameInstant(prev->second,
+                                                           s.begin);
         audit.Check("delta-carryover", continues, [&] {
           return "zero-setup span does not continue a prior circuit: " +
                  FmtSpan(s);
         });
       }
+      Time& last_end = last_end_by_plane[s.plane];
+      last_end = std::max(last_end, s.end);
     }
   }
 
@@ -355,13 +377,16 @@ AuditReport AuditTrace(std::span<const Event> events,
     });
   }
 
-  // teardown: each teardown coincides with the end of a span on its pair.
+  // teardown: each teardown coincides with the end of a span on its pair,
+  // on the same plane.
   for (auto& [key, ts] : teardowns) {
+    const auto& [ctx, plane, in, out] = key;
     std::vector<Time> ends;
-    const auto it = by_pair.find(key);
+    const auto it = by_pair.find({ctx, in, out});
     if (it != by_pair.end()) {
       ends.reserve(it->second.size());
-      for (const Span& s : it->second) ends.push_back(s.end);
+      for (const Span& s : it->second)
+        if (s.plane == plane) ends.push_back(s.end);
       std::sort(ends.begin(), ends.end());
     }
     for (const Time t : ts) {
@@ -375,8 +400,9 @@ AuditReport AuditTrace(std::span<const Event> events,
       }
       audit.Check("teardown", matched, [&] {
         std::ostringstream os;
-        os << "teardown of " << std::get<1>(key) << "->" << std::get<2>(key)
-           << " at t=" << t << " matches no circuit span end";
+        os << "teardown of " << in << "->" << out << " at t=" << t;
+        if (plane != 0) os << " on plane " << plane;
+        os << " matches no circuit span end";
         return os.str();
       });
     }

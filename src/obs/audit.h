@@ -10,13 +10,18 @@
 //
 // Invariants checked (each names its id in violations):
 //   port-exclusivity   no two circuit spans overlap on an input or output
-//                      port (beyond the ε slop every comparison allows);
-//                      negative port ids — the dummy rows/columns square
-//                      matchings are padded with — are exempt
+//                      port *of the same switch plane* (beyond the ε slop
+//                      every comparison allows) — a K-core fabric has K
+//                      physical ports behind each logical port id, so
+//                      spans on distinct planes never conflict; negative
+//                      port ids — the dummy rows/columns square matchings
+//                      are padded with — are exempt
 //   delta-bounds       0 ≤ setup ≤ span length for every circuit span
 //   delta-carryover    a zero-setup span in a δ-paying trace must continue
-//                      a prior span on the same (in, out) pair — δ is paid
-//                      exactly once per reconfiguration, never skipped
+//                      a prior span on the same (plane, in, out) — δ is
+//                      paid exactly once per reconfiguration, never
+//                      skipped, and a circuit up on plane p says nothing
+//                      about plane q's switch state
 //   flow-in-circuit    a FlowFinished instant lies inside a circuit span
 //                      of its own (coflow, in, out) — or a starvation τ
 //                      span, where fluid drains finish off-plan
@@ -29,7 +34,7 @@
 //                      flow, and each Unblocked mirrors its opener's
 //                      reason/blamer with dur spanning back to it
 //   teardown           every CircuitTeardown coincides with the end of a
-//                      circuit span on the same (in, out) pair
+//                      circuit span on the same (plane, in, out)
 //   setup-count        (optional) the number of δ-paying spans matches the
 //                      producer's executor.circuit_setups metric
 //

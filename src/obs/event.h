@@ -68,6 +68,11 @@ struct Event {
   PortId out = -1;        ///< output port
   double value = 0;       ///< type-specific payload (δ, CCT, compute ns)
   std::int64_t count = 0; ///< type-specific integer payload (k, set size)
+  /// Switch plane carrying the circuit (kCircuitSetup/kCircuitTeardown on
+  /// a K-core fabric, core/fabric.h). 0 — the only plane — on the classic
+  /// single-switch fabric, and omitted from JSONL when 0, so single-plane
+  /// traces are byte-identical to the pre-fabric format.
+  PlaneId plane = 0;
 
   friend bool operator==(const Event&, const Event&) = default;
 };

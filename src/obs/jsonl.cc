@@ -76,6 +76,7 @@ void WriteJsonlEvent(std::ostream& out, const Event& e) {
   if (e.out >= 0) out << ",\"out\":" << e.out;
   if (e.value != 0) out << ",\"value\":" << Num(e.value);
   if (e.count != 0) out << ",\"count\":" << e.count;
+  if (e.plane != 0) out << ",\"plane\":" << e.plane;
   out << "}\n";
 }
 
@@ -171,6 +172,8 @@ std::vector<Event> ReadJsonl(std::istream& in) {
       e.value = ParseNum(field, line_no, "value");
     if (FindValue(line, "count", field))
       e.count = static_cast<std::int64_t>(ParseNum(field, line_no, "count"));
+    if (FindValue(line, "plane", field))
+      e.plane = static_cast<PlaneId>(ParseNum(field, line_no, "plane"));
     events.push_back(e);
   }
   return events;

@@ -131,13 +131,15 @@ void ReplayDriver::EmitExecutedPlan(const SunflowSchedule& plan,
                               .coflow = r.coflow,
                               .in = r.in,
                               .out = r.out,
-                              .value = std::min(r.setup, end - r.start)});
+                              .value = std::min(r.setup, end - r.start),
+                              .plane = r.plane});
     if (r.end <= t_next + kTimeEps) {
       obs::Emit(state_.sink(), {.type = obs::EventType::kCircuitTeardown,
                                 .t = r.end,
                                 .coflow = r.coflow,
                                 .in = r.in,
-                                .out = r.out});
+                                .out = r.out,
+                                .plane = r.plane});
     }
   }
 }

@@ -59,6 +59,11 @@ struct EngineConfig {
   /// Coflows with total bytes at or below this go to the packet network
   /// ("hybrid" scenario).
   Bytes offload_threshold = 10e6;
+  /// "kcore" scenario: plan the active set jointly on the K-plane fabric
+  /// (true, the default — earliest-feasible-plane greedy inside the
+  /// planner), or run the literature's per-core baseline (false — each
+  /// coflow pinned wholly to one core, Sunflow independently per core).
+  bool kcore_joint = true;
 };
 
 /// Per-scenario hooks around the driver's plan → execute → replan loop.

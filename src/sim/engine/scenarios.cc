@@ -17,6 +17,7 @@
 #include "core/components.h"
 #include "packet/replay.h"
 #include "packet/varys.h"
+#include "sched/kcore.h"
 #include "sim/engine/driver.h"
 #include "sim/engine/scenario.h"
 #include "trace/bounds.h"
@@ -24,6 +25,26 @@
 namespace sunflow::engine {
 
 namespace {
+
+// The effective per-plane link rates of a config's fabric, index-aligned
+// with CircuitReservation::plane. Mirrors the planner's resolution of the
+// empty spec: one plane at the config bandwidth (SunflowPlanner::planes()).
+std::vector<Bandwidth> PlaneRates(const SunflowConfig& config) {
+  std::vector<Bandwidth> rates;
+  if (config.fabric.is_default()) {
+    rates.push_back(config.bandwidth);
+  } else {
+    rates.reserve(config.fabric.planes.size());
+    for (const PlaneSpec& p : config.fabric.planes) rates.push_back(p.rate);
+  }
+  return rates;
+}
+
+bool AnyEstablished(const FabricEstablished& established) {
+  for (const auto& m : established)
+    if (!m.empty()) return true;
+  return false;
+}
 
 // How executed service is charged against remaining demand. The circuit
 // planner guarantees every reservation covers its flow, so the plain
@@ -60,13 +81,17 @@ struct ByPortPair {
 // pair, which keeps plan order within each pair.
 void ExecutePlanSpan(ReplayDriver& driver, std::vector<SimCoflow>& active,
                      const SunflowSchedule& plan, Time t, Time t_next,
-                     Bandwidth bandwidth, DrainRule rule,
+                     const std::vector<Bandwidth>& rates, DrainRule rule,
                      std::vector<const CircuitReservation*>& scratch) {
   scratch.clear();
   scratch.reserve(plan.reservations.size());
   for (const auto& r : plan.reservations) scratch.push_back(&r);
   std::stable_sort(scratch.begin(), scratch.end(), ByPortPair{});
 
+  // Circuit time per plane; a plane's seconds convert to bytes at its own
+  // rate. Summed in plane-id order, so the single-plane fabric reduces to
+  // the pre-fabric `served * bandwidth` multiply bit-for-bit.
+  std::vector<Time> served_by_plane(rates.size(), 0);
   for (auto& sc : active) {
     Bytes served_total = 0;
     for (auto& [pair, bytes] : sc.remaining) {
@@ -74,22 +99,26 @@ void ExecutePlanSpan(ReplayDriver& driver, std::vector<SimCoflow>& active,
       const auto [first, last] =
           std::equal_range(scratch.begin(), scratch.end(), pair, ByPortPair{});
       if (first == last) continue;
-      Time served = 0;
+      std::fill(served_by_plane.begin(), served_by_plane.end(), 0.0);
       Time flow_finish = 0;
       for (auto rit = first; rit != last; ++rit) {
         const CircuitReservation* r = *rit;
         if (r->coflow != sc.id) continue;
+        SUNFLOW_CHECK(static_cast<std::size_t>(r->plane) < rates.size());
         const Time b = std::max(r->transmit_begin(), t);
         const Time e = std::min(r->end, t_next);
         if (e > b) {
-          served += e - b;
+          served_by_plane[static_cast<std::size_t>(r->plane)] += e - b;
           flow_finish = std::max(flow_finish, e);
         }
       }
+      Bytes served_bytes = 0;
+      for (std::size_t p = 0; p < rates.size(); ++p)
+        served_bytes += served_by_plane[p] * rates[p];
       if (rule == DrainRule::kCircuitDust) {
-        bytes = std::max(0.0, bytes - served * bandwidth);
+        bytes = std::max(0.0, bytes - served_bytes);
       } else {
-        const Bytes moved = std::min(bytes, served * bandwidth);
+        const Bytes moved = std::min(bytes, served_bytes);
         bytes -= moved;
         served_total += moved;
         if (bytes <= kBytesEps) {
@@ -199,7 +228,7 @@ class PlanRequestCache {
 SunflowSchedule PlanActiveSet(ReplayDriver& driver,
                               const PriorityPolicy& policy,
                               const SunflowConfig& config,
-                              const EstablishedCircuits* established, Time t,
+                              const FabricEstablished* established, Time t,
                               PlanRequestCache& cache,
                               runtime::ThreadPool* pool) {
   SimState& s = driver.state();
@@ -218,8 +247,11 @@ SunflowSchedule PlanActiveSet(ReplayDriver& driver,
   SUNFLOW_CHECK(order.size() == active.size());
 
   SunflowPlanner planner(s.num_ports(), config);
-  if (established != nullptr && !established->empty())
-    planner.SetEstablishedCircuits(*established, t);
+  if (established != nullptr && AnyEstablished(*established)) {
+    SUNFLOW_CHECK(static_cast<int>(established->size()) ==
+                  planner.num_planes());
+    planner.SetEstablishedCircuitsByPlane(*established, t);
+  }
   cache.BeginReplan();
   std::vector<const PlanRequest*> requests;
   requests.reserve(active.size());
@@ -244,7 +276,11 @@ class CircuitScenario final : public ScenarioPolicy {
  public:
   CircuitScenario(const PriorityPolicy& policy, const EngineConfig& config,
                   CompletionHook hook)
-      : policy_(policy), config_(config), hook_(std::move(hook)) {
+      : policy_(policy),
+        config_(config),
+        hook_(std::move(hook)),
+        plane_rates_(PlaneRates(config_.sunflow)),
+        established_(plane_rates_.size()) {
     SUNFLOW_CHECK(config_.sunflow.bandwidth > 0);
   }
 
@@ -260,7 +296,7 @@ class CircuitScenario final : public ScenarioPolicy {
   }
 
   void OnIdleGap(SimState& /*state*/, Time /*now*/) override {
-    established_.clear();  // circuits idle away between bursts
+    for (auto& m : established_) m.clear();  // circuits idle away
   }
 
   Time ExecuteSpan(ReplayDriver& driver, Time t) override {
@@ -290,19 +326,18 @@ class CircuitScenario final : public ScenarioPolicy {
     SUNFLOW_CHECK_MSG(t_next < kTimeInf && t_next > t,
                       "circuit replay stalled at t=" << t);
 
-    ExecutePlanSpan(driver, active, plan, t, t_next,
-                    config_.sunflow.bandwidth, DrainRule::kCircuitDust,
-                    span_scratch_);
+    ExecutePlanSpan(driver, active, plan, t, t_next, plane_rates_,
+                    DrainRule::kCircuitDust, span_scratch_);
     driver.EmitExecutedPlan(plan, t, t_next);
     driver.EmitBlockedSpans(plan, t, t_next);
 
-    // Circuits up at the replan instant (for carry-over).
-    established_.clear();
+    // Circuits up at the replan instant (for carry-over), per plane.
+    for (auto& m : established_) m.clear();
     if (config_.carry_over_circuits) {
       for (const auto& r : plan.reservations) {
         if (r.transmit_begin() <= t_next + kTimeEps &&
             t_next < r.end - kTimeEps) {
-          established_[r.in] = r.out;
+          established_[static_cast<std::size_t>(r.plane)][r.in] = r.out;
         }
       }
     }
@@ -322,7 +357,159 @@ class CircuitScenario final : public ScenarioPolicy {
   const PriorityPolicy& policy_;
   EngineConfig config_;
   CompletionHook hook_;
-  EstablishedCircuits established_;
+  std::vector<Bandwidth> plane_rates_;
+  FabricEstablished established_;  // carry-over per plane
+  PlanRequestCache request_cache_;
+  std::vector<const CircuitReservation*> span_scratch_;
+  Time last_plan_ = -kTimeInf;
+};
+
+// --- "kcore": K parallel switch planes (K-core OCS). --------------------
+//
+// Joint mode (EngineConfig::kcore_joint, the default) is the plane-aware
+// circuit scenario itself: one planner assigns every reservation to the
+// earliest feasible plane. This class is the comparison baseline from the
+// K-core scheduling literature (sched/kcore.h): each coflow is pinned
+// wholly to one core — shortest-effective-bottleneck-first onto the least
+// loaded core — and Sunflow runs independently per core on a single-plane
+// planner; the reservations are retagged with the owning plane so
+// execution, tracing and the plane-exclusivity audit see the true fabric.
+class KCorePerCoreScenario final : public ScenarioPolicy {
+ public:
+  KCorePerCoreScenario(const PriorityPolicy& policy,
+                       const EngineConfig& config)
+      : policy_(policy), config_(config) {
+    SUNFLOW_CHECK(config_.sunflow.bandwidth > 0);
+    // Resolve the plane list exactly like the planner does.
+    if (config_.sunflow.fabric.is_default()) {
+      planes_.push_back({config_.sunflow.delta, config_.sunflow.bandwidth});
+    } else {
+      planes_ = config_.sunflow.fabric.planes;
+    }
+    rates_.reserve(planes_.size());
+    for (const PlaneSpec& p : planes_) rates_.push_back(p.rate);
+    established_.resize(planes_.size());
+  }
+
+  std::string name() const override { return "kcore"; }
+
+  void OnAdmit(SimCoflow& sc, const Coflow& coflow, Time /*now*/) override {
+    sc.static_tpl = PacketLowerBound(coflow, config_.sunflow.bandwidth);
+  }
+
+  void OnIdleGap(SimState& /*state*/, Time /*now*/) override {
+    for (auto& m : established_) m.clear();
+  }
+
+  Time ExecuteSpan(ReplayDriver& driver, Time t) override {
+    SimState& s = driver.state();
+    auto& active = s.active();
+    const Bandwidth bandwidth = config_.sunflow.bandwidth;
+
+    // Priority order + long-lived requests, exactly as in PlanActiveSet.
+    std::vector<CoflowView> views;
+    views.reserve(active.size());
+    for (const auto& sc : active) {
+      const Bytes remaining_bytes = sc.remaining_bytes();
+      views.push_back({sc.id, sc.arrival, sc.RemainingTpl(bandwidth),
+                       sc.static_tpl, remaining_bytes, sc.remaining.size(),
+                       std::max(0.0, sc.total - remaining_bytes)});
+    }
+    const std::vector<std::size_t> order = policy_.Order(views);
+    SUNFLOW_CHECK(order.size() == active.size());
+
+    request_cache_.BeginReplan();
+    std::vector<const PlanRequest*> requests;
+    requests.reserve(active.size());
+    for (std::size_t idx : order) {
+      const SimCoflow& sc = active[idx];
+      requests.push_back(request_cache_.Refresh(sc, bandwidth, t));
+      request_cache_.NoteActive(sc.id);
+    }
+    request_cache_.PruneTo(active.size());
+
+    const auto plan_begin = std::chrono::steady_clock::now();
+    const KCoreAssignment assignment =
+        AssignCoflowsToCores(requests, planes_, bandwidth);
+
+    // Each core plans independently on a single-plane planner whose
+    // implicit plane inherits that core's (δ, rate); the planner's demand
+    // scale (bandwidth / rate) stretches the canonical processing times
+    // exactly as the joint planner would. Requests keep their global
+    // priority order within the core.
+    SunflowSchedule plan;
+    for (std::size_t p = 0; p < planes_.size(); ++p) {
+      std::vector<const PlanRequest*> core_requests;
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (assignment.plane_of[i] == static_cast<PlaneId>(p))
+          core_requests.push_back(requests[i]);
+      }
+      if (core_requests.empty()) continue;
+      SunflowConfig core_config = config_.sunflow;
+      core_config.fabric =
+          FabricSpec::Uniform(1, planes_[p].delta, planes_[p].rate);
+      SunflowPlanner planner(s.num_ports(), core_config);
+      if (config_.carry_over_circuits && !established_[p].empty())
+        planner.SetEstablishedCircuits(established_[p], t);
+      SunflowSchedule core_plan = planner.ScheduleAll(core_requests);
+      for (auto& r : core_plan.reservations)
+        r.plane = static_cast<PlaneId>(p);
+      plan.reservations.insert(plan.reservations.end(),
+                               core_plan.reservations.begin(),
+                               core_plan.reservations.end());
+      plan.completion_time.merge(core_plan.completion_time);
+      plan.reservation_count.merge(core_plan.reservation_count);
+      plan.flow_finish.merge(core_plan.flow_finish);
+    }
+    const auto plan_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - plan_begin)
+                             .count();
+    driver.NoteReplan(t, plan, static_cast<double>(plan_ns), requests.size());
+    last_plan_ = t;
+
+    Time t_next = kTimeInf;
+    if (s.HasPendingReleases()) {
+      t_next = std::max(s.NextReleaseTime(),
+                        last_plan_ + config_.min_replan_interval);
+    }
+    for (const auto& sc : active) {
+      auto it = plan.completion_time.find(sc.id);
+      SUNFLOW_CHECK(it != plan.completion_time.end());
+      t_next = std::min(t_next, t + it->second);
+    }
+    SUNFLOW_CHECK_MSG(t_next < kTimeInf && t_next > t,
+                      "kcore replay stalled at t=" << t);
+
+    ExecutePlanSpan(driver, active, plan, t, t_next, rates_,
+                    DrainRule::kCircuitDust, span_scratch_);
+    driver.EmitExecutedPlan(plan, t, t_next);
+    driver.EmitBlockedSpans(plan, t, t_next);
+
+    for (auto& m : established_) m.clear();
+    if (config_.carry_over_circuits) {
+      for (const auto& r : plan.reservations) {
+        if (r.transmit_begin() <= t_next + kTimeEps &&
+            t_next < r.end - kTimeEps) {
+          established_[static_cast<std::size_t>(r.plane)][r.in] = r.out;
+        }
+      }
+    }
+    return t_next;
+  }
+
+  std::size_t StepBudget(const SimState& state) const override {
+    return 10 * state.total_released() + 1000;
+  }
+  const char* budget_message() const override {
+    return "kcore replay event explosion";
+  }
+
+ private:
+  const PriorityPolicy& policy_;
+  EngineConfig config_;
+  std::vector<PlaneSpec> planes_;
+  std::vector<Bandwidth> rates_;
+  FabricEstablished established_;  // carry-over per plane
   PlanRequestCache request_cache_;
   std::vector<const CircuitReservation*> span_scratch_;
   Time last_plan_ = -kTimeInf;
@@ -337,9 +524,14 @@ class GuardScenario final : public ScenarioPolicy {
       : policy_(policy),
         config_(config),
         timeline_(config.guard, num_ports),
-        phi_(num_ports) {
+        phi_(num_ports),
+        plane_rates_(PlaneRates(config.sunflow)) {
     SUNFLOW_CHECK_MSG(config_.guard.small_interval > config_.sunflow.delta,
                       "starvation guard requires tau > delta");
+    // The τ spans install one Φ assignment on *the* switch; the guard
+    // models the paper's single-switch fabric only.
+    SUNFLOW_CHECK_MSG(config_.sunflow.fabric.num_planes() == 1,
+                      "the starvation guard models a single-plane fabric");
   }
 
   std::string name() const override { return "guarded"; }
@@ -369,7 +561,7 @@ class GuardScenario final : public ScenarioPolicy {
         t_next = std::min(t_next, t + plan.completion_time.at(sc.id));
       SUNFLOW_CHECK(t_next > t);
 
-      ExecutePlanSpan(driver, active, plan, t, t_next, bandwidth,
+      ExecutePlanSpan(driver, active, plan, t, t_next, plane_rates_,
                       DrainRule::kExactFinish, span_scratch_);
       driver.EmitExecutedPlan(plan, t, t_next);
       driver.EmitBlockedSpans(plan, t, t_next);
@@ -430,6 +622,7 @@ class GuardScenario final : public ScenarioPolicy {
   EngineConfig config_;
   StarvationGuardTimeline timeline_;
   PhiAssignments phi_;
+  std::vector<Bandwidth> plane_rates_;
   PlanRequestCache request_cache_;
   std::vector<const CircuitReservation*> span_scratch_;
   Time last_traced_tau_ = -kTimeInf;
@@ -445,6 +638,8 @@ class RotorScenario final : public ScenarioPolicy {
         span_(config.sunflow.delta + config.rotor_slot_duration) {
     SUNFLOW_CHECK(config_.rotor_slot_duration > 0);
     SUNFLOW_CHECK(config_.sunflow.delta >= 0);
+    SUNFLOW_CHECK_MSG(config_.sunflow.fabric.num_planes() == 1,
+                      "blind rotation models a single-plane fabric");
   }
 
   std::string name() const override { return "rotor"; }
@@ -533,6 +728,26 @@ EngineResult RunRotor(const Trace& trace, const PriorityPolicy* /*policy*/,
   return result;
 }
 
+EngineResult RunKCore(const Trace& trace, const PriorityPolicy* policy,
+                      const EngineConfig& config) {
+  trace.Validate();
+  SUNFLOW_CHECK_MSG(policy != nullptr,
+                    "the kcore scenario needs a priority policy");
+  EngineResult result;
+  if (config.kcore_joint) {
+    // Joint planning over all K planes is the plane-aware circuit
+    // scenario itself — with an empty fabric spec this is byte-identical
+    // to "circuit" (the K=1 equivalence contract, core/fabric.h).
+    CircuitScenario scenario(*policy, config, nullptr);
+    result = RunScenarioReplay(trace, scenario, config.sink);
+  } else {
+    KCorePerCoreScenario scenario(*policy, config);
+    result = RunScenarioReplay(trace, scenario, config.sink);
+  }
+  SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
+  return result;
+}
+
 // Hybrid is a composite, not a span scenario: the trace is split by the
 // offload rule and each side replays on its own (physically separate)
 // fabric, so it registers a whole-trace run function.
@@ -614,6 +829,11 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
                     "OCS for big coflows, companion packet fabric below the "
                     "offload threshold",
                     RunHybrid);
+  registry.Register("kcore",
+                    "K-core OCS fabric: joint plane-aware planning "
+                    "(kcore_joint), or the per-core baseline — each coflow "
+                    "pinned to one core, Sunflow per core",
+                    RunKCore);
 }
 
 }  // namespace sunflow::engine

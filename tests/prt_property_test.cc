@@ -259,6 +259,238 @@ TEST(PrtProperty, CursorSurvivesBackwardAndRepeatedProbes) {
   }
 }
 
+// ---- K-plane fabric ------------------------------------------------------
+
+// Brute-force reference for the K-plane fabric: one unordered interval
+// list per (side, plane, port) answered by full scan, with the PRT's
+// documented ε semantics. Release times stay global across planes — the
+// planner's wakeup chain does not care which plane released a port.
+class FabricOracle {
+ public:
+  using Side = FabricReservationTable::Side;
+
+  FabricOracle(PortId ports, int planes)
+      : ports_(ports),
+        slots_{Timelines(static_cast<std::size_t>(planes) *
+                         static_cast<std::size_t>(ports)),
+               Timelines(static_cast<std::size_t>(planes) *
+                         static_cast<std::size_t>(ports))} {}
+
+  void Add(const CircuitReservation& r) {
+    At(Side::kIn, r.plane, r.in).push_back({r.start, r.end});
+    At(Side::kOut, r.plane, r.out).push_back({r.start, r.end});
+    releases_.push_back(r.end);
+  }
+
+  bool FreeAt(Side side, PortId p, Time t, PlaneId plane) const {
+    for (const auto& [s, e] : At(side, plane, p)) {
+      if (s <= t && e > t + kTimeEps) return false;
+    }
+    return true;
+  }
+
+  Time BusyUntil(Side side, PortId p, Time t, PlaneId plane) const {
+    for (const auto& [s, e] : At(side, plane, p)) {
+      if (s <= t && e > t + kTimeEps) return e;
+    }
+    return t;
+  }
+
+  FabricReservationTable::NextReservation NextReservationAfter(
+      PortId in, PortId out, Time t, PlaneId plane) const {
+    const auto a = NextStartAfter(Side::kIn, plane, in, t);
+    const auto b = NextStartAfter(Side::kOut, plane, out, t);
+    if (a.start < b.start) return a;
+    if (b.start < a.start) return b;
+    return {a.start, std::max(a.release, b.release)};
+  }
+
+  Time NextReleaseAfter(Time t) const {
+    Time best = kTimeInf;
+    for (Time e : releases_)
+      if (e > t + kTimeEps) best = std::min(best, e);
+    return best;
+  }
+
+ private:
+  using Timelines = std::vector<std::vector<std::pair<Time, Time>>>;
+
+  const std::vector<std::pair<Time, Time>>& At(Side side, PlaneId plane,
+                                               PortId p) const {
+    return slots_[static_cast<std::size_t>(side)]
+                 [static_cast<std::size_t>(plane) *
+                      static_cast<std::size_t>(ports_) +
+                  static_cast<std::size_t>(p)];
+  }
+  std::vector<std::pair<Time, Time>>& At(Side side, PlaneId plane, PortId p) {
+    return const_cast<std::vector<std::pair<Time, Time>>&>(
+        std::as_const(*this).At(side, plane, p));
+  }
+
+  FabricReservationTable::NextReservation NextStartAfter(Side side,
+                                                         PlaneId plane,
+                                                         PortId p,
+                                                         Time t) const {
+    FabricReservationTable::NextReservation best;
+    for (const auto& [s, e] : At(side, plane, p)) {
+      if (s > t && s < best.start) best = {s, e};
+    }
+    return best;
+  }
+
+  PortId ports_;
+  Timelines slots_[2];
+  std::vector<Time> releases_;
+};
+
+void CheckFabricProbe(const FabricReservationTable& prt,
+                      const FabricOracle& oracle, PortId in, PortId out,
+                      Time t, int num_planes) {
+  using Side = FabricReservationTable::Side;
+  for (PlaneId plane = 0; plane < num_planes; ++plane) {
+    EXPECT_EQ(prt.FreeAt(Side::kIn, in, t, plane),
+              oracle.FreeAt(Side::kIn, in, t, plane))
+        << "t=" << t << " plane=" << plane;
+    EXPECT_EQ(prt.FreeAt(Side::kOut, out, t, plane),
+              oracle.FreeAt(Side::kOut, out, t, plane))
+        << "t=" << t << " plane=" << plane;
+    EXPECT_EQ(prt.BusyUntil(Side::kIn, in, t, plane),
+              oracle.BusyUntil(Side::kIn, in, t, plane))
+        << "t=" << t << " plane=" << plane;
+    EXPECT_EQ(prt.BusyUntil(Side::kOut, out, t, plane),
+              oracle.BusyUntil(Side::kOut, out, t, plane))
+        << "t=" << t << " plane=" << plane;
+    const auto got = prt.NextReservationAfter(in, out, t, plane);
+    const auto want = oracle.NextReservationAfter(in, out, t, plane);
+    EXPECT_EQ(got.start, want.start) << "t=" << t << " plane=" << plane;
+    EXPECT_EQ(got.release, want.release) << "t=" << t << " plane=" << plane;
+  }
+  EXPECT_EQ(prt.NextReleaseAfter(t), oracle.NextReleaseAfter(t)) << "t=" << t;
+}
+
+// Randomized K=3 fill cross-checked against the plane-indexed oracle.
+// Per-plane port frontiers keep each plane's append pattern realistic
+// while planes stay mutually oblivious: the same port pair is routinely
+// busy on one plane and free on another at the same instant.
+TEST(PrtProperty, MultiPlaneMatchesBruteForceOracle) {
+  constexpr PortId kPorts = 8;
+  constexpr int kPlanes = 3;
+  FabricReservationTable prt(kPorts, kPlanes);
+  FabricOracle oracle(kPorts, kPlanes);
+  Rng rng(20161212);
+  std::vector<Time> frontier(static_cast<std::size_t>(kPlanes) * kPorts, 0.0);
+  std::vector<CircuitReservation> all;
+  int accepted = 0;
+  int attempts = 0;
+  while (accepted < 4000 && ++attempts < 200000) {
+    const auto in = static_cast<PortId>(rng.UniformInt(0, kPorts - 1));
+    const auto out = static_cast<PortId>(rng.UniformInt(0, kPorts - 1));
+    const auto plane = static_cast<PlaneId>(rng.UniformInt(0, kPlanes - 1));
+    const auto fi = static_cast<std::size_t>(plane) * kPorts;
+    Time start;
+    if (rng.Uniform(0, 1) < 0.7) {
+      start = std::max(frontier[fi + static_cast<std::size_t>(in)],
+                       frontier[fi + static_cast<std::size_t>(out)]) +
+              rng.Uniform(0, 0.02);
+    } else {
+      start = rng.Uniform(0, 50.0);
+    }
+    if (rng.Uniform(0, 1) < 0.5) start += rng.Uniform(-2.0, 2.0) * kTimeEps;
+    const Time len = rng.Uniform(0, 1) < 0.2
+                         ? rng.Uniform(2.0, 10.0) * kTimeEps
+                         : rng.Uniform(0.005, 0.5);
+    const CircuitReservation r{in, out, start, start + len, 0.0, 7, plane};
+    try {
+      prt.Reserve(r);
+    } catch (const CheckFailure&) {
+      continue;  // overlap on this plane — expected for historical draws
+    }
+    oracle.Add(r);
+    all.push_back(r);
+    ++accepted;
+    frontier[fi + static_cast<std::size_t>(in)] =
+        std::max(frontier[fi + static_cast<std::size_t>(in)], r.end);
+    frontier[fi + static_cast<std::size_t>(out)] =
+        std::max(frontier[fi + static_cast<std::size_t>(out)], r.end);
+  }
+  ASSERT_GE(accepted, 4000) << "workload generator starved";
+  prt.CheckInvariants();
+
+  for (int k = 0; k < 1500; ++k) {
+    const auto in = static_cast<PortId>(rng.UniformInt(0, kPorts - 1));
+    const auto out = static_cast<PortId>(rng.UniformInt(0, kPorts - 1));
+    Time t;
+    if (rng.Uniform(0, 1) < 0.6) {
+      const auto& r = all[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int>(all.size()) - 1))];
+      static constexpr double kOffsets[] = {-2.0, -1.0, -0.5, 0.0,
+                                            0.5,  1.0,  2.0};
+      t = (rng.Uniform(0, 1) < 0.5 ? r.start : r.end) +
+          kOffsets[rng.UniformInt(0, 6)] * kTimeEps;
+    } else {
+      t = rng.Uniform(-1.0, 60.0);
+    }
+    CheckFabricProbe(prt, oracle, in, out, t, kPlanes);
+  }
+}
+
+// Plane-exclusivity is a property of the table itself: one (port pair,
+// window) can be reserved once per plane — the K-th duplicate on a fresh
+// plane is accepted, any duplicate on an occupied plane throws. Backward
+// and ping-pong probe sweeps then alternate across planes so each
+// (side, plane, port) cursor is advanced, invalidated and re-seated
+// independently of its siblings.
+TEST(PrtProperty, PlaneExclusivityAndPerPlaneCursorReseat) {
+  using Side = FabricReservationTable::Side;
+  constexpr PortId kPorts = 4;
+  constexpr int kPlanes = 4;
+  FabricReservationTable prt(kPorts, kPlanes);
+  FabricOracle oracle(kPorts, kPlanes);
+
+  // The same window lands on every plane of the same port pair.
+  std::vector<Time> boundaries;
+  for (int w = 0; w < 64; ++w) {
+    const Time start = 0.1 * w;
+    const Time end = start + 0.08;
+    for (PlaneId plane = 0; plane < kPlanes; ++plane) {
+      const CircuitReservation r{static_cast<PortId>(w % kPorts),
+                                 static_cast<PortId>((w + 1) % kPorts),
+                                 start,
+                                 end,
+                                 0.0,
+                                 static_cast<CoflowId>(w),
+                                 plane};
+      prt.Reserve(r);  // must not throw: planes are independent
+      oracle.Add(r);
+      // Re-reserving the occupied plane must be rejected...
+      EXPECT_THROW(prt.Reserve(r), CheckFailure);
+      // ...and must not have half-applied: the probe state is unchanged.
+      EXPECT_FALSE(prt.FreeAt(Side::kIn, r.in, start, plane));
+    }
+    boundaries.push_back(start);
+    boundaries.push_back(end - kTimeEps);
+  }
+  prt.CheckInvariants();
+
+  std::sort(boundaries.begin(), boundaries.end());
+  for (PortId p = 0; p < kPorts; ++p) {
+    // Forward sweep on every plane, then strictly backward, then
+    // ping-pong — alternating planes at every probe so no cursor can
+    // coast on a neighbouring plane's progress.
+    for (const Time t : boundaries) {
+      CheckFabricProbe(prt, oracle, p, p, t, kPlanes);
+    }
+    for (auto it = boundaries.rbegin(); it != boundaries.rend(); ++it) {
+      CheckFabricProbe(prt, oracle, p, p, *it, kPlanes);
+    }
+    for (std::size_t k = 0; k < boundaries.size(); k += 2) {
+      CheckFabricProbe(prt, oracle, p, p, boundaries[k], kPlanes);
+      CheckFabricProbe(prt, oracle, p, p,
+                       boundaries[boundaries.size() - 1 - k / 2], kPlanes);
+    }
+  }
+}
+
 // Interleaving probes with inserts re-validates the cursor adjustment on
 // mid-vector insertion (slots shifting under a live cursor).
 TEST(PrtProperty, ProbesInterleavedWithInserts) {

@@ -21,9 +21,10 @@
 // also cross-checks the δ-paying setup count against the producer's
 // executor.circuit_setups metric.
 // --manifest alone inspects a run manifest instead of an event trace: it
-// prints the plan-cache counters (plan.cache_hits / plan.cache_misses) and
-// each profiled phase's share of total self time, the two numbers the
-// planner perf work is judged by.
+// prints the plan-cache counters (plan.cache_hits / plan.cache_misses),
+// the parallel-planning counters (plan.parallel_fallbacks /
+// pool.waiter_steals) and each profiled phase's share of total self time —
+// the numbers the planner perf work is judged by.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -82,9 +83,12 @@ int InspectManifest(const std::string& path) {
               m.wall_ns / 1e6, m.threads);
 
   double hits = -1, misses = -1;
+  double parallel_fallbacks = -1, waiter_steals = -1;
   for (const obs::MetricRow& r : m.metrics) {
     if (r.name == "plan.cache_hits") hits = r.value;
     if (r.name == "plan.cache_misses") misses = r.value;
+    if (r.name == "plan.parallel_fallbacks") parallel_fallbacks = r.value;
+    if (r.name == "pool.waiter_steals") waiter_steals = r.value;
   }
   if (hits >= 0 || misses >= 0) {
     hits = std::max(hits, 0.0);
@@ -98,6 +102,18 @@ int InspectManifest(const std::string& path) {
     std::printf(
         "plan cache: no plan.cache_* counters (run predates the plan memo "
         "or never planned)\n");
+  }
+  if (parallel_fallbacks >= 0) {
+    std::printf(
+        "parallel plan fallbacks: %.0f replan(s) fell back to the serial "
+        "path (no pool, one group, or an observer attached)\n",
+        parallel_fallbacks);
+  }
+  if (waiter_steals >= 0) {
+    std::printf(
+        "pool waiter steals: %.0f queued task(s) run by a caller while "
+        "waiting for its ParallelFor to drain\n",
+        waiter_steals);
   }
 
   double total_self = 0;
@@ -192,6 +208,17 @@ int RunAttribution(const std::vector<Event>& events, bool csv,
       TextTable::FmtPct(report.transmit_fraction, 1) + ", unattributed " +
       TextTable::FmtPct(report.unattributed_fraction, 1));
   table.Print(std::cout);
+
+  // Per-plane δ only when the trace actually spans a K-core fabric, so
+  // classic single-plane output is unchanged.
+  const auto& by_plane = report.delta_seconds_by_plane;
+  if (by_plane.size() > 1 ||
+      (by_plane.size() == 1 && by_plane.begin()->first != 0)) {
+    std::printf("\ndelta seconds by switch plane:\n");
+    for (const auto& [plane, seconds] : by_plane) {
+      std::printf("  plane %d: %.6f s\n", static_cast<int>(plane), seconds);
+    }
+  }
 
   std::printf("\ncritical path of coflow %lld (completion first):\n",
               static_cast<long long>(report.critical_coflow));
@@ -300,6 +327,7 @@ int main(int argc, char** argv) {
   std::map<EventType, std::size_t> type_counts;
   std::map<CoflowId, CoflowStats> coflows;
   std::map<PortId, PortStats> ports;
+  std::map<PlaneId, Time> plane_circuit_seconds;
   std::vector<double> compute_ns;
   Time t_min = kTimeInf, t_max = 0;
   int starvation_rounds = 0;
@@ -312,6 +340,7 @@ int main(int argc, char** argv) {
     t_max = std::max(t_max, e.t + std::max(0.0, e.dur));
     switch (e.type) {
       case EventType::kCircuitSetup: {
+        plane_circuit_seconds[e.plane] += e.dur;
         auto& cs = coflows[e.coflow];
         ++cs.reservations;
         if (e.value > 0) ++cs.setups;
@@ -384,6 +413,13 @@ int main(int argc, char** argv) {
   std::printf("circuit-hold time: %.6f s, of which delta: %.6f s (%.2f%%)\n",
               total_circuit, total_delta,
               total_circuit > 0 ? 100.0 * total_delta / total_circuit : 0.0);
+  if (plane_circuit_seconds.size() > 1) {
+    std::printf("circuit-hold by switch plane (K=%zu):\n",
+                plane_circuit_seconds.size());
+    for (const auto& [plane, seconds] : plane_circuit_seconds) {
+      std::printf("  plane %d: %.6f s\n", static_cast<int>(plane), seconds);
+    }
+  }
 
   // Port idleness: fraction of the horizon each seen input port held no
   // circuit (the executable-trace analogue of trace/idleness).
