@@ -21,6 +21,7 @@
 // flushes the trace, reports metrics, and writes the manifest.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -37,6 +38,7 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/timeline.h"
 #include "obs/trace_sink.h"
 #include "runtime/thread_pool.h"
 #include "trace/coflow.h"
@@ -250,6 +252,40 @@ class BenchSession {
     if (opts_.engine_default.has_value())
       engine_ = Engine(flags_, *opts_.engine_default);
     tracer_.emplace(flags_);
+    // Telemetry-timeline flags (obs/timeline.h). Registered always so they
+    // show in --help; the sampler exists only when an output path was
+    // given, so default runs skip every sampling branch.
+    timeline_path_ = flags_.GetString(
+        "timeline_out", "",
+        "write the sim-time telemetry timeline (.jsonl = JSON lines, "
+        "otherwise CSV); also folds util.*/idle.*/replan.*/slo.* "
+        "aggregates into the run manifest");
+    const double timeline_dt_ms = flags_.GetDouble(
+        "timeline_dt_ms", 100.0, "timeline sample window, sim milliseconds");
+    const auto timeline_cap = flags_.GetInt(
+        "timeline_cap", 4096,
+        "max retained timeline samples; at the cap the buffer halves "
+        "resolution (adjacent-sample merge) so memory stays bounded");
+    const double timeline_slo_us = flags_.GetDouble(
+        "timeline_slo_us", 0.0,
+        "replan wall-latency SLO budget in microseconds (0 = no SLO)");
+    const bool timeline_wall = flags_.GetBool(
+        "timeline_wall", false,
+        "include host-dependent columns (replan wall latency, memo hits) "
+        "in the timeline export; off keeps the file byte-identical at any "
+        "--threads");
+    if (!timeline_path_.empty()) {
+      if (!std::ofstream(timeline_path_)) {
+        throw std::runtime_error("cannot open timeline output " +
+                                 timeline_path_);
+      }
+      obs::TimelineConfig tc;
+      tc.dt = timeline_dt_ms / 1e3;
+      tc.cap = static_cast<std::size_t>(std::max<long long>(timeline_cap, 2));
+      tc.slo_budget_us = timeline_slo_us;
+      tc.include_wall = timeline_wall;
+      timeline_.emplace(tc);
+    }
     manifest_path_ = flags_.GetString(
         "manifest_out", opts_.name + ".manifest.json",
         "write the self-describing run manifest JSON (empty = skip)");
@@ -291,6 +327,12 @@ class BenchSession {
   const std::string& engine() const { return engine_; }
   BenchTracer& tracer() { return *tracer_; }
   obs::TraceSink* sink() { return tracer_->sink(); }
+  /// The telemetry sampler, or null when --timeline_out was not given.
+  /// Wire it into EngineConfig::timeline / InterRunConfig::timeline for
+  /// the run that should be charted.
+  obs::TimelineSampler* timeline() {
+    return timeline_.has_value() ? &*timeline_ : nullptr;
+  }
   /// Bench-specific scalars surfaced in the manifest's "run" object.
   void AddManifestValue(const std::string& key, double value) {
     manifest_.extra[key] = value;
@@ -317,6 +359,45 @@ class BenchSession {
         AddManifestValue("attr.starvation_fraction", attr.starvation_fraction);
       }
     }
+    if (timeline_.has_value() && !timeline_->empty()) {
+      std::ofstream f(timeline_path_);
+      if (!f) {
+        throw std::runtime_error("cannot open " + timeline_path_);
+      }
+      if (timeline_path_.size() >= 6 &&
+          timeline_path_.compare(timeline_path_.size() - 6, 6, ".jsonl") ==
+              0) {
+        timeline_->WriteJsonl(f);
+      } else {
+        timeline_->WriteCsv(f);
+      }
+      f.flush();
+      if (!f) throw std::runtime_error("failed writing " + timeline_path_);
+      std::printf("wrote %zu timeline samples to %s\n",
+                  timeline_->samples().size(), timeline_path_.c_str());
+      // The aggregates come from exact accumulators, not the decimated
+      // samples; the wall-latency ones are host-dependent, which is fine
+      // here — manifests are never byte-diffed (bench_compare treats
+      // non-rate extras as informational rows).
+      const obs::TimelineSummary ts = timeline_->Summarize();
+      AddManifestValue("util.mean", ts.util_mean);
+      AddManifestValue("util.p99", ts.util_p99);
+      AddManifestValue("idle.fraction", ts.idle_fraction);
+      AddManifestValue("engine.active_fraction", ts.engine_active_fraction);
+      AddManifestValue("timeline.samples",
+                       static_cast<double>(ts.samples));
+      AddManifestValue("timeline.decimations",
+                       static_cast<double>(ts.decimations));
+      AddManifestValue("plan.memo_hit_rate", ts.memo_hit_rate);
+      AddManifestValue("pool.peak_groups",
+                       static_cast<double>(ts.pool_peak_groups));
+      AddManifestValue("replan.p50_us", ts.slo.p50_ns / 1e3);
+      AddManifestValue("replan.p99_us", ts.slo.p99_ns / 1e3);
+      AddManifestValue("replan.max_us", ts.slo.max_ns / 1e3);
+      AddManifestValue("slo.burn", static_cast<double>(ts.slo.burn));
+      if (ts.slo.first_breach_t >= 0)
+        AddManifestValue("slo.first_breach_t", ts.slo.first_breach_t);
+    }
     if (!manifest_path_.empty()) {
       manifest_.seed = workload_.seed;
       manifest_.threads = threads_;
@@ -335,6 +416,8 @@ class BenchSession {
   int threads_ = 1;
   std::string engine_;
   std::optional<BenchTracer> tracer_;
+  std::optional<obs::TimelineSampler> timeline_;
+  std::string timeline_path_;
   std::string manifest_path_;
   bool done_ = false;
   bool finished_ = false;

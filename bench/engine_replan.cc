@@ -88,12 +88,16 @@ int main(int argc, char** argv) {
   }
 
   TextTable table("replan-loop throughput (" + engine_name + ")");
-  table.SetHeader(
-      {"run", "replans", "wall ms", "replans/sec", "evq pushes", "evq pops"});
+  table.SetHeader({"run", "replans", "wall ms", "replans/sec", "evq pushes",
+                   "evq pops", "evq hwm"});
   auto& throughput =
       obs::GlobalMetrics().GetHistogram("engine.replans_per_sec");
   double best_rps = 0;
   for (int r = 0; r < repeat; ++r) {
+    // Sample only the first timed replay — BeginRun resets the sampler,
+    // so attaching every repetition would keep just the last and charge
+    // its windows a second warm-cache pass.
+    ec.timeline = r == 0 ? session.timeline() : nullptr;
     const auto begin = std::chrono::steady_clock::now();
     const engine::EngineResult result =
         engine::ScenarioRegistry::Global().Run(engine_name, w.trace,
@@ -107,7 +111,8 @@ int main(int argc, char** argv) {
     table.AddRow({std::to_string(r), std::to_string(result.replans),
                   TextTable::Fmt(seconds * 1e3, 2), TextTable::Fmt(rps, 0),
                   std::to_string(result.queue.pushes),
-                  std::to_string(result.queue.pops)});
+                  std::to_string(result.queue.pops),
+                  std::to_string(result.queue.depth_high_water)});
     if (cct_file.is_open() && r == 0) DumpCcts(cct_file, "main", result.cct);
   }
   table.AddFootnote(

@@ -38,9 +38,12 @@ int main(int argc, char** argv) {
   cfg.delta = Millis(delta_ms);
   cfg.engine = engine;
   cfg.threads = threads;  // the 3 replays per comparison run fan out
-  // Trace only the original-load Sunflow replay (Part 1); the idleness
-  // sweep below reuses cfg without the sink.
+  // Trace and sample only the original-load Sunflow replay (Part 1); the
+  // idleness sweep below reuses cfg without the sink or sampler — so the
+  // manifest's idle.fraction aggregate describes the same run as the
+  // NetworkIdleness() print below (they must agree within 1%).
   cfg.sink = tracer.sink();
+  cfg.timeline = session.timeline();
 
   // ---- Part 1: per-coflow CCT ratios at the original load. ----
   const double original_idleness = NetworkIdleness(w.trace, cfg.bandwidth);
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
               original_idleness * 100);
   const auto cmp = RunInterComparison(w.trace, cfg);
   cfg.sink = nullptr;
+  cfg.timeline = nullptr;
 
   TextTable ratios("Per-coflow CCT ratios (original load)");
   ratios.SetHeader({"pair", "coflows", "mean", "p50", "p95"});

@@ -1,0 +1,29 @@
+// One-line build identification for the CLI tools' --version flags,
+// assembled from the configure-time constants in sunflow_version.h
+// (generated from src/obs/version.h.in; on the include path via the
+// build tree's generated/ directory).
+#pragma once
+
+#include <string>
+
+#include "sunflow_version.h"
+
+namespace sunflow {
+
+/// "sunflow_trace_inspect (sunflow) git 079ca30-dirty, build Release".
+/// The SHA is captured at CMake configure time, so it can lag the working
+/// tree (the .in header says as much); "unknown" when built outside git.
+inline std::string VersionString(const std::string& tool) {
+  std::string out = tool + " (sunflow) git ";
+  const char* sha = SUNFLOW_GIT_SHA;
+  out += (sha[0] != '\0') ? sha : "unknown";
+#if SUNFLOW_GIT_DIRTY
+  out += "-dirty";
+#endif
+  const char* build = SUNFLOW_CMAKE_BUILD_TYPE;
+  out += ", build ";
+  out += (build[0] != '\0') ? build : "unspecified";
+  return out;
+}
+
+}  // namespace sunflow

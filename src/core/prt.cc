@@ -166,6 +166,21 @@ CoflowId FabricReservationTable::NextOwnerAfter(PortId in, PortId out, Time t,
   return first == nullptr ? -1 : all_[first->index].coflow;
 }
 
+Time FabricReservationTable::BusySeconds(Side side, PortId p, Time t0,
+                                         Time t1, PlaneId plane) const {
+  // Slots are sorted by start and never overlap, so one pass over the
+  // window suffices; plain binary search keeps this cursor-free.
+  const PortTimeline& tl = Timeline(side, p, plane);
+  Time busy = 0;
+  auto it = std::lower_bound(
+      tl.slots.begin(), tl.slots.end(), t0,
+      [](const Slot& s, Time t) { return s.end <= t; });
+  for (; it != tl.slots.end() && it->start < t1; ++it) {
+    busy += std::max<Time>(0, std::min(it->end, t1) - std::max(it->start, t0));
+  }
+  return busy;
+}
+
 Time FabricReservationTable::NextReservationStartAfter(PortId in, PortId out,
                                                        Time t,
                                                        PlaneId plane) const {

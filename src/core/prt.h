@@ -126,6 +126,14 @@ class FabricReservationTable {
   CoflowId NextOwnerAfter(PortId in, PortId out, Time t,
                           PlaneId plane = 0) const;
 
+  /// Total reserved seconds on one (side, plane, port) timeline clipped
+  /// to [t0, t1) — the telemetry sampler's utilization numerator,
+  /// cross-checked in tests against its incremental accounting.
+  /// Cursor-free like the owner probes above: a pure read that never
+  /// perturbs the planner's amortized forward-scan cursor.
+  Time BusySeconds(Side side, PortId p, Time t0, Time t1,
+                   PlaneId plane = 0) const;
+
   /// All reservations in insertion order.
   const std::vector<CircuitReservation>& reservations() const {
     return all_;

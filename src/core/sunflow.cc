@@ -744,6 +744,8 @@ SunflowSchedule SunflowPlanner::ScheduleAll(
   }
   cache_hits.Increment(prefix.size());
   cache_misses.Increment(requests.size() - prefix.size());
+  out.memo_hits = prefix.size();
+  out.memo_lookups = requests.size();
 
   // Re-plan only the suffix, feeding each fresh delta back into the memo.
   for (std::size_t i = prefix.size(); i < requests.size(); ++i) {

@@ -71,6 +71,7 @@ InterComparison RunInterComparison(const Trace& trace,
     ec.sunflow.fabric = config.fabric;
     ec.carry_over_circuits = config.carry_over_circuits;
     ec.sink = config.sink;
+    ec.timeline = config.timeline;
     ec.plan_pool = &pool;
     const auto policy = MakeShortestFirstPolicy();
     cmp.sunflow = engine::ScenarioRegistry::Global()

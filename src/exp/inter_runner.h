@@ -14,6 +14,10 @@
 #include "sim/circuit_replay.h"
 #include "trace/coflow.h"
 
+namespace sunflow::obs {
+class TimelineSampler;
+}  // namespace sunflow::obs
+
 namespace sunflow::exp {
 
 struct InterRunConfig {
@@ -34,6 +38,9 @@ struct InterRunConfig {
   /// Optional structured event tracer for the Sunflow circuit replay
   /// (packet baselines are not traced).
   obs::TraceSink* sink = nullptr;
+  /// Optional sim-time telemetry sampler for the Sunflow circuit replay
+  /// (obs/timeline.h; packet baselines are not sampled). Not owned.
+  obs::TimelineSampler* timeline = nullptr;
   /// Worker threads. The three replays (Sunflow circuit, Varys, Aalo) are
   /// independent whole-trace simulations, so they fan out across up to
   /// three workers; each writes its own CCT map, keeping the comparison

@@ -1,6 +1,7 @@
 #include "sim/engine/driver.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/assert.h"
 #include "obs/metrics.h"
@@ -15,6 +16,7 @@ EngineResult ReplayDriver::Run(ScenarioPolicy& scenario) {
   Time t = 0;
   std::size_t steps = 0;
 
+  if (timeline_ != nullptr) timeline_->BeginRun(s.num_ports());
   while (!s.active().empty() || s.HasPendingReleases()) {
     // Every iteration consumes at least one release or strictly advances
     // time toward one; the budget trips non-advancing scenarios.
@@ -24,11 +26,20 @@ EngineResult ReplayDriver::Run(ScenarioPolicy& scenario) {
     if (s.active().empty()) {
       t = std::max(t, s.NextReleaseTime());
       scenario.OnIdleGap(s, t);
+      // Close out the idle gap's windows before admissions land, so gap
+      // samples carry active = 0 rather than the post-burst gauges.
+      if (timeline_ != nullptr) {
+        timeline_->Advance(t, 0, s.releases().size(),
+                           s.releases().stats().pops);
+      }
     }
+    if (timeline_ != nullptr)
+      timeline_->NoteQueueDepth(t, s.releases().size());
     {
       SUNFLOW_PROFILE_SCOPE("engine.admit");
       AdmitDue(scenario, t);
     }
+    const Time span_begin = t;
     {
       SUNFLOW_PROFILE_SCOPE("engine.execute");
       t = scenario.ExecuteSpan(*this, t);
@@ -37,7 +48,13 @@ EngineResult ReplayDriver::Run(ScenarioPolicy& scenario) {
       SUNFLOW_PROFILE_SCOPE("engine.harvest");
       Harvest(scenario, t);
     }
+    if (timeline_ != nullptr) {
+      timeline_->NoteEngineSpan(span_begin, t);
+      timeline_->Advance(t, static_cast<int>(s.active().size()),
+                         s.releases().size(), s.releases().stats().pops);
+    }
   }
+  if (timeline_ != nullptr) timeline_->EndRun(t);
 
   s.result().queue = s.releases().stats();
   auto& metrics = obs::GlobalMetrics();
@@ -60,6 +77,11 @@ void ReplayDriver::AdmitDue(ScenarioPolicy& scenario, Time t) {
     sc.total = coflow.total_bytes();
     for (const Flow& f : coflow.flows()) sc.remaining[{f.src, f.dst}] = f.bytes;
     scenario.OnAdmit(sc, coflow, t);
+    // static_tpl is set by OnAdmit; scenarios that leave it 0 (rotor)
+    // contribute a zero-width demand interval — their idleness aggregate
+    // is meaningless either way (no TpL model).
+    if (timeline_ != nullptr)
+      timeline_->NoteAdmitted(entry.t, sc.static_tpl);
     const CoflowId id = sc.id;
     state_.active().push_back(std::move(sc));
     // dur carries the admission queueing wait (admit instant minus release
@@ -103,6 +125,10 @@ void ReplayDriver::NoteReplan(Time t, const SunflowSchedule& plan,
   ++result.replans;
   for (const auto& [id, count] : plan.reservation_count)
     result.reservations[id] += count;
+  if (timeline_ != nullptr) {
+    timeline_->NoteReplan(t, plan_ns, plan.memo_hits, plan.memo_lookups,
+                          plan.parallel_groups);
+  }
   obs::GlobalMetrics().GetHistogram("scheduler.compute_ns").Record(plan_ns);
   obs::GlobalMetrics().GetCounter("replay.replans").Increment();
   // Externally timed by the scenario (the same number the
@@ -116,8 +142,32 @@ void ReplayDriver::NoteReplan(Time t, const SunflowSchedule& plan,
              .count = static_cast<std::int64_t>(num_requests)});
 }
 
+void ReplayDriver::SampleExecutedPlan(const SunflowSchedule& plan, Time t,
+                                      Time t_next) {
+  circuit_uses_.clear();
+  circuit_uses_.reserve(plan.reservations.size());
+  // The served set mirrors EmitBlockedSpans' notion of "got circuit time
+  // in the span", but at coflow granularity: a coflow with no overlapping
+  // reservation at all spent the whole span blocked.
+  std::set<CoflowId> served;
+  for (const auto& r : plan.reservations) {
+    const Time begin = std::max(r.start, t);
+    const Time end = std::min(r.end, t_next);
+    if (end - begin <= kTimeEps) continue;
+    circuit_uses_.push_back({r.plane, begin, end});
+    served.insert(r.coflow);
+  }
+  int blocked = 0;
+  for (const auto& sc : state_.active()) {
+    if (served.count(sc.id) == 0) ++blocked;
+  }
+  timeline_->IngestCircuits(t, t_next, circuit_uses_,
+                            static_cast<int>(state_.active().size()), blocked);
+}
+
 void ReplayDriver::EmitExecutedPlan(const SunflowSchedule& plan,
-                                    Time /*t*/, Time t_next) {
+                                    Time t, Time t_next) {
+  if (timeline_ != nullptr) SampleExecutedPlan(plan, t, t_next);
   if (state_.sink() == nullptr) return;
   for (const auto& r : plan.reservations) {
     if (r.start >= t_next - kTimeEps) continue;
@@ -220,8 +270,9 @@ void ReplayDriver::EmitBlockedSpans(const SunflowSchedule& plan, Time t,
 }
 
 EngineResult RunScenarioReplay(const Trace& trace, ScenarioPolicy& scenario,
-                               obs::TraceSink* sink) {
-  ReplayDriver driver(trace.num_ports, sink);
+                               obs::TraceSink* sink,
+                               obs::TimelineSampler* timeline) {
+  ReplayDriver driver(trace.num_ports, sink, timeline);
   std::vector<std::pair<Time, const Coflow*>> seed;
   seed.reserve(trace.coflows.size());
   for (const Coflow& c : trace.coflows) seed.emplace_back(c.arrival(), &c);

@@ -16,6 +16,7 @@
 
 #include "core/sunflow.h"
 #include "obs/event.h"
+#include "obs/timeline.h"
 #include "sim/engine/scenario.h"
 #include "sim/engine/state.h"
 
@@ -23,8 +24,9 @@ namespace sunflow::engine {
 
 class ReplayDriver {
  public:
-  ReplayDriver(PortId num_ports, obs::TraceSink* sink)
-      : state_(num_ports, sink) {}
+  ReplayDriver(PortId num_ports, obs::TraceSink* sink,
+               obs::TimelineSampler* timeline = nullptr)
+      : state_(num_ports, sink), timeline_(timeline) {}
 
   /// Seed releases via state().PushRelease(), then Run. Every pushed coflow
   /// appears in the result exactly once.
@@ -72,17 +74,26 @@ class ReplayDriver {
  private:
   void AdmitDue(ScenarioPolicy& scenario, Time t);
   void Harvest(ScenarioPolicy& scenario, Time now);
+  /// Feeds the executed portion of `plan` ([t, t_next) clips) plus the
+  /// active/blocked gauges into the timeline sampler.
+  void SampleExecutedPlan(const SunflowSchedule& plan, Time t, Time t_next);
 
   SimState state_;
+  /// Optional telemetry sampler (obs/timeline.h); null in default runs.
+  /// Not owned.
+  obs::TimelineSampler* timeline_ = nullptr;
   /// Reusable batch buffer for AdmitDue's PopDue drain (allocated once,
   /// cleared per admission round).
   std::vector<EventQueue<const Coflow*>::Entry> due_;
+  /// Reusable clipped-circuit buffer for SampleExecutedPlan.
+  std::vector<obs::TimelineCircuitUse> circuit_uses_;
 };
 
 /// Front door: seeds one release per trace coflow at its arrival and runs
 /// `scenario`. Callers needing custom releases (DAG gating) drive a
 /// ReplayDriver directly.
 EngineResult RunScenarioReplay(const Trace& trace, ScenarioPolicy& scenario,
-                               obs::TraceSink* sink);
+                               obs::TraceSink* sink,
+                               obs::TimelineSampler* timeline = nullptr);
 
 }  // namespace sunflow::engine

@@ -25,6 +25,10 @@ namespace sunflow::engine {
 struct EventQueueStats {
   std::uint64_t pushes = 0;
   std::uint64_t pops = 0;
+  /// Largest queue size ever reached — how far admission lags behind
+  /// release pressure (bench/engine_replan prints it, the timeline
+  /// sampler tracks its trajectory).
+  std::uint64_t depth_high_water = 0;
 };
 
 template <typename Payload>
@@ -47,6 +51,8 @@ class EventQueue {
     ++stats_.pushes;
     heap_.push_back(Entry{t, next_seq_++, std::move(payload)});
     std::push_heap(heap_.begin(), heap_.end(), Later);
+    stats_.depth_high_water = std::max<std::uint64_t>(
+        stats_.depth_high_water, heap_.size());
   }
 
   /// Batched push: appends every (time, payload) pair — assigning
@@ -62,6 +68,8 @@ class EventQueue {
       heap_.push_back(Entry{t, next_seq_++, payload});
     }
     std::make_heap(heap_.begin(), heap_.end(), Later);
+    stats_.depth_high_water = std::max<std::uint64_t>(
+        stats_.depth_high_water, heap_.size());
   }
 
   Entry Pop() {

@@ -26,6 +26,10 @@ namespace sunflow::runtime {
 class ThreadPool;
 }  // namespace sunflow::runtime
 
+namespace sunflow::obs {
+class TimelineSampler;
+}  // namespace sunflow::obs
+
 namespace sunflow::engine {
 
 class ReplayDriver;
@@ -43,6 +47,11 @@ struct EngineConfig {
   Time min_replan_interval = 0;
   /// Optional structured event tracer; the driver is the only emitter.
   obs::TraceSink* sink = nullptr;
+  /// Optional sim-time telemetry sampler (obs/timeline.h); like the sink,
+  /// the driver is the only feeder, so every scenario shares identical
+  /// sampling semantics. Null (the default) compiles down to skipped
+  /// branches — default runs stay byte-identical. Not owned.
+  obs::TimelineSampler* timeline = nullptr;
   /// Optional worker pool for intra-replan parallelism: port-disjoint
   /// groups of the active set plan concurrently (ScheduleRequestsParallel,
   /// core/components.h). Null or size <= 1 plans serially; output is

@@ -460,6 +460,12 @@ class KCorePerCoreScenario final : public ScenarioPolicy {
       plan.completion_time.merge(core_plan.completion_time);
       plan.reservation_count.merge(core_plan.reservation_count);
       plan.flow_finish.merge(core_plan.flow_finish);
+      plan.memo_hits += core_plan.memo_hits;
+      plan.memo_lookups += core_plan.memo_lookups;
+      // Per-core plans run back to back; peak pool occupancy is the
+      // widest single core's group fan-out, not the sum.
+      plan.parallel_groups =
+          std::max(plan.parallel_groups, core_plan.parallel_groups);
     }
     const auto plan_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                              std::chrono::steady_clock::now() - plan_begin)
@@ -703,7 +709,7 @@ EngineResult RunCircuit(const Trace& trace, const PriorityPolicy* policy,
   SUNFLOW_CHECK_MSG(policy != nullptr,
                     "the circuit scenario needs a priority policy");
   CircuitScenario scenario(*policy, config, nullptr);
-  auto result = RunScenarioReplay(trace, scenario, config.sink);
+  auto result = RunScenarioReplay(trace, scenario, config.sink, config.timeline);
   SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
   return result;
 }
@@ -714,7 +720,7 @@ EngineResult RunGuarded(const Trace& trace, const PriorityPolicy* policy,
   SUNFLOW_CHECK_MSG(policy != nullptr,
                     "the guarded scenario needs a priority policy");
   GuardScenario scenario(trace.num_ports, *policy, config);
-  auto result = RunScenarioReplay(trace, scenario, config.sink);
+  auto result = RunScenarioReplay(trace, scenario, config.sink, config.timeline);
   SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
   return result;
 }
@@ -723,7 +729,7 @@ EngineResult RunRotor(const Trace& trace, const PriorityPolicy* /*policy*/,
                       const EngineConfig& config) {
   trace.Validate();
   RotorScenario scenario(trace.num_ports, config);
-  auto result = RunScenarioReplay(trace, scenario, config.sink);
+  auto result = RunScenarioReplay(trace, scenario, config.sink, config.timeline);
   SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
   return result;
 }
@@ -739,10 +745,10 @@ EngineResult RunKCore(const Trace& trace, const PriorityPolicy* policy,
     // scenario itself — with an empty fabric spec this is byte-identical
     // to "circuit" (the K=1 equivalence contract, core/fabric.h).
     CircuitScenario scenario(*policy, config, nullptr);
-    result = RunScenarioReplay(trace, scenario, config.sink);
+    result = RunScenarioReplay(trace, scenario, config.sink, config.timeline);
   } else {
     KCorePerCoreScenario scenario(*policy, config);
-    result = RunScenarioReplay(trace, scenario, config.sink);
+    result = RunScenarioReplay(trace, scenario, config.sink, config.timeline);
   }
   SUNFLOW_CHECK(result.cct.size() == trace.coflows.size());
   return result;

@@ -29,6 +29,7 @@
 
 #include "common/cli.h"
 #include "common/table.h"
+#include "common/version.h"
 #include "obs/json.h"
 
 using namespace sunflow;
@@ -154,6 +155,10 @@ int main(int argc, char** argv) {
       "ignore phases whose baseline total is below this (timer noise)");
   const bool warn_only = flags.GetBool(
       "warn_only", false, "report regressions but exit 0 (first-landing CI)");
+  if (flags.GetBool("version", false, "print build/version info and exit")) {
+    std::printf("%s\n", VersionString("sunflow_bench_compare").c_str());
+    return 0;
+  }
   if (flags.help_requested() || baseline_path.empty() ||
       candidate_path.empty()) {
     flags.PrintHelp("Diff two bench result files; exit 1 past the threshold");

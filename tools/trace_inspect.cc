@@ -27,6 +27,8 @@
 // the numbers the planner perf work is judged by.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -35,6 +37,7 @@
 #include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/version.h"
 #include "obs/attribution.h"
 #include "obs/audit.h"
 #include "obs/jsonl.h"
@@ -67,6 +70,147 @@ struct PortStats {
   Time busy = 0;
   int setups = 0;
 };
+
+// --timeline mode: render a bench's --timeline_out CSV
+// (sunflow.timeline/v1, obs/timeline.h) as ASCII sparklines + summary.
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', begin);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(begin));
+      return out;
+    }
+    out.push_back(line.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+}
+
+// Downsamples a series to `width` bucket maxima and renders each bucket as
+// one of ten ASCII levels scaled to the series max. Max (not mean) so a
+// narrow burst — one busy window among dozens of idle ones in the same
+// bucket — still shows up instead of averaging down to a blank cell.
+std::string Sparkline(const std::vector<double>& xs, std::size_t width) {
+  static const char kLevels[] = " .:-=+*#%@";
+  if (xs.empty()) return {};
+  width = std::min(width, xs.size());
+  double max = 0;
+  for (double x : xs) max = std::max(max, x);
+  std::string out;
+  out.reserve(width);
+  for (std::size_t b = 0; b < width; ++b) {
+    const std::size_t lo = b * xs.size() / width;
+    const std::size_t hi = std::max(lo + 1, (b + 1) * xs.size() / width);
+    double v = 0;
+    for (std::size_t i = lo; i < hi; ++i) v = std::max(v, xs[i]);
+    const int level =
+        max > 0 ? std::min(9, static_cast<int>(v / max * 9.999)) : 0;
+    out.push_back(kLevels[level]);
+  }
+  return out;
+}
+
+int InspectTimeline(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return 1;
+  }
+  std::string line, schema_comment, meta_comment;
+  std::vector<std::string> cols;
+  std::vector<std::vector<double>> rows;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      (schema_comment.empty() ? schema_comment : meta_comment) = line;
+      continue;
+    }
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (cols.empty()) {
+      cols = std::move(fields);
+      continue;
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const std::string& s : fields) row.push_back(std::atof(s.c_str()));
+    rows.push_back(std::move(row));
+  }
+  if (schema_comment.find("sunflow.timeline/v1") == std::string::npos) {
+    std::cerr << "error: " << path
+              << " is not a telemetry timeline (no sunflow.timeline/v1 "
+                 "header; expected a bench's --timeline_out CSV)\n";
+    return 1;
+  }
+  if (rows.empty()) {
+    std::printf("telemetry timeline %s: no samples\n", path.c_str());
+    return 0;
+  }
+
+  const auto col = [&](const std::string& name) -> int {
+    for (std::size_t i = 0; i < cols.size(); ++i)
+      if (cols[i] == name) return static_cast<int>(i);
+    return -1;
+  };
+  const auto series = [&](int c) {
+    std::vector<double> out;
+    if (c < 0) return out;
+    out.reserve(rows.size());
+    for (const auto& r : rows)
+      out.push_back(static_cast<std::size_t>(c) < r.size()
+                        ? r[static_cast<std::size_t>(c)]
+                        : 0);
+    return out;
+  };
+
+  // Overall utilization: mean across every util_* column per sample.
+  std::vector<double> util(rows.size(), 0);
+  int util_cols = 0;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].rfind("util_", 0) != 0) continue;
+    ++util_cols;
+    for (std::size_t rix = 0; rix < rows.size(); ++rix)
+      if (i < rows[rix].size()) util[rix] += rows[rix][i];
+  }
+  if (util_cols > 0)
+    for (double& u : util) u /= util_cols;
+
+  const Time t0 = rows.front()[0];
+  const Time t1 = rows.back().size() > 1 ? rows.back()[1] : t0;
+  std::printf("telemetry timeline %s\n", path.c_str());
+  std::printf("%zu samples over sim [%g, %g] s\n", rows.size(), t0, t1);
+  if (!meta_comment.empty()) std::printf("%s\n", meta_comment.c_str());
+  std::printf("\n");
+
+  constexpr std::size_t kWidth = 64;
+  const auto print_row = [&](const char* name, const std::vector<double>& xs) {
+    if (xs.empty()) return;
+    double max = 0;
+    for (double x : xs) max = std::max(max, x);
+    std::printf("  %-18s peak %-12.4g |%s|\n", name, max,
+                Sparkline(xs, kWidth).c_str());
+  };
+  print_row("fabric util", util);
+  print_row("engine active", series(col("engine_active_frac")));
+  print_row("active coflows", series(col("active")));
+  print_row("queue depth", series(col("queue_depth")));
+  print_row("blocked coflows", series(col("blocked")));
+  print_row("replans", series(col("replans")));
+  const std::vector<double> p99 = series(col("rolling_p99_ns"));
+  if (!p99.empty()) print_row("replan p99 ns", p99);
+
+  std::printf("\n");
+  std::printf("  util mean %.4f  p99 %.4f\n", stats::Mean(util),
+              stats::Percentile(util, 99));
+  double total_replans = 0;
+  for (double r : series(col("replans"))) total_replans += r;
+  std::printf("  replans %g", total_replans);
+  const std::vector<double> admitted = series(col("admitted"));
+  if (!admitted.empty()) std::printf("  admitted %g", admitted.back());
+  std::printf("\n");
+  return 0;
+}
 
 // --manifest mode: plan-cache counters and per-phase self-time shares
 // from a run manifest (obs/manifest.h).
@@ -298,6 +442,18 @@ int main(int argc, char** argv) {
       "\"fabric\" = one shared timeline (engine replays, strict); "
       "\"coflow\" = concatenated standalone replays (intra benches), "
       "fabric checks keyed per coflow lifecycle");
+  const std::string timeline_path = flags.GetString(
+      "timeline", "",
+      "telemetry-timeline CSV (a bench's --timeline_out) to render as "
+      "ASCII sparklines + summary instead of a trace");
+  const bool version =
+      flags.GetBool("version", false, "print build/version info and exit");
+  if (version) {
+    std::printf("%s\n", VersionString("sunflow_trace_inspect").c_str());
+    return 0;
+  }
+  if (!timeline_path.empty() && !flags.help_requested())
+    return InspectTimeline(timeline_path);
   if (flags.help_requested() || (path.empty() && manifest_path.empty())) {
     flags.PrintHelp("Summarize a Sunflow JSONL event trace or run manifest");
     return path.empty() && manifest_path.empty() && !flags.help_requested()

@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "common/cli.h"
+#include "common/version.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "exp/classify.h"
@@ -127,6 +128,10 @@ int Bounds(CliFlags& flags) {
 
 int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
+  if (flags.GetBool("version", false, "print build/version info and exit")) {
+    std::printf("%s\n", sunflow::VersionString("sunflow_trace_tool").c_str());
+    return 0;
+  }
   const auto& positional = flags.positional();
   const std::string cmd = positional.empty() ? "info" : positional[0];
   try {
