@@ -64,6 +64,15 @@ BENCHES = {
         ["--benchmark_min_time=0.05"],
         None,
     ),
+    # Out-of-core trace pipeline (docs/traces.md): stream write/read/sort
+    # throughput, and the generate -> extsort -> streamed-replay loop.
+    # Both surface trace.write_mb_s / trace.read_mb_s / trace.sort_mb_s
+    # in the manifest "extra" scalars.
+    "trace_io": ("tools/sunflow_trace_tool", ["bench", "--run_mb=8"], 8),
+    # Replay wall-clock grows superlinearly with the active set, so the
+    # harness default stays modest; CI's smoke --extra-args override wins
+    # (later duplicate flags take precedence).
+    "trace_scale": ("bench/trace_scale", ["--coflows=2000", "--run_mb=4"], 8),
 }
 
 

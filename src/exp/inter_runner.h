@@ -13,6 +13,7 @@
 #include "core/fabric.h"
 #include "sim/circuit_replay.h"
 #include "trace/coflow.h"
+#include "trace/source.h"
 
 namespace sunflow::obs {
 class TimelineSampler;
@@ -70,5 +71,17 @@ struct InterComparison {
 
 InterComparison RunInterComparison(const Trace& trace,
                                    const InterRunConfig& config);
+
+/// Out-of-core variant: replays the optical arm only, pulling arrivals
+/// from `source` (arrival-ordered; a TraceReader over a sorted stream
+/// file) — the packet baselines need the whole trace resident, so
+/// config.run_varys/run_aalo must be false. tpl/pavg are computed per
+/// coflow as it streams past. Engine memory is O(active set); the
+/// returned per-coflow maps are O(trace) by the InterComparison contract
+/// (they ARE the product). Supports the "circuit", "guarded" and "rotor"
+/// scenarios (composites orchestrate whole traces). Byte-identical
+/// sunflow/tpl/pavg maps to RunInterComparison on the same sequence.
+InterComparison RunInterComparisonStreamed(CoflowSource& source,
+                                           const InterRunConfig& config);
 
 }  // namespace sunflow::exp

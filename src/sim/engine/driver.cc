@@ -69,29 +69,66 @@ void ReplayDriver::AdmitDue(ScenarioPolicy& scenario, Time t) {
   // tie-break contract — is preserved by the queue.
   due_.clear();
   state_.releases().PopDue(t + kTimeEps, due_);
-  for (const auto& entry : due_) {
-    const Coflow& coflow = *entry.payload;
-    SimCoflow sc;
-    sc.id = coflow.id();
-    sc.arrival = entry.t;
-    sc.total = coflow.total_bytes();
-    for (const Flow& f : coflow.flows()) sc.remaining[{f.src, f.dst}] = f.bytes;
-    scenario.OnAdmit(sc, coflow, t);
-    // static_tpl is set by OnAdmit; scenarios that leave it 0 (rotor)
-    // contribute a zero-width demand interval — their idleness aggregate
-    // is meaningless either way (no TpL model).
-    if (timeline_ != nullptr)
-      timeline_->NoteAdmitted(entry.t, sc.static_tpl);
-    const CoflowId id = sc.id;
-    state_.active().push_back(std::move(sc));
-    // dur carries the admission queueing wait (admit instant minus release
-    // instant — positive when the replan throttle queued the release), the
-    // pre-admission component of the CCT decomposition.
-    obs::Emit(state_.sink(), {.type = obs::EventType::kCoflowAdmitted,
-                              .t = std::max(t, entry.t),
-                              .dur = std::max(0.0, t - entry.t),
-                              .coflow = id});
+  for (;;) {
+    for (const auto& entry : due_) AdmitOne(scenario, entry, t);
+    due_.clear();
+    // Streaming mode: the release queue only ever holds a prefix of the
+    // (arrival-ordered) source, so after draining it top up until the
+    // next pending release is beyond t or the source is dry — laziness
+    // must never change what counts as "due". Pulls assign the same
+    // (time, seq) keys as whole-trace seeding, so admission order — and
+    // every downstream scheduling decision — is identical.
+    if (source_ == nullptr || state_.HasPendingReleases()) break;
+    if (!PullOne()) break;
+    state_.releases().PopDue(t + kTimeEps, due_);
+    if (due_.empty()) break;
   }
+}
+
+void ReplayDriver::AdmitOne(ScenarioPolicy& scenario,
+                            const EventQueue<const Coflow*>::Entry& entry,
+                            Time t) {
+  const Coflow& coflow = *entry.payload;
+  SimCoflow sc;
+  sc.id = coflow.id();
+  sc.arrival = entry.t;
+  sc.total = coflow.total_bytes();
+  for (const Flow& f : coflow.flows()) sc.remaining[{f.src, f.dst}] = f.bytes;
+  scenario.OnAdmit(sc, coflow, t);
+  // static_tpl is set by OnAdmit; scenarios that leave it 0 (rotor)
+  // contribute a zero-width demand interval — their idleness aggregate
+  // is meaningless either way (no TpL model).
+  if (timeline_ != nullptr)
+    timeline_->NoteAdmitted(entry.t, sc.static_tpl);
+  const CoflowId id = sc.id;
+  state_.active().push_back(std::move(sc));
+  // dur carries the admission queueing wait (admit instant minus release
+  // instant — positive when the replan throttle queued the release), the
+  // pre-admission component of the CCT decomposition.
+  obs::Emit(state_.sink(), {.type = obs::EventType::kCoflowAdmitted,
+                            .t = std::max(t, entry.t),
+                            .dur = std::max(0.0, t - entry.t),
+                            .coflow = id});
+  if (source_ != nullptr) {
+    // Admissions consume the pulled window strictly FIFO (the queue pops
+    // in (time, seq) = pull order); the coflow's bytes now live in
+    // sc.remaining, so the storage can go.
+    SUNFLOW_CHECK_MSG(!window_.empty() && entry.payload == &window_.front(),
+                      "streamed admission out of window order");
+    window_.pop_front();
+  }
+}
+
+bool ReplayDriver::PullOne() {
+  if (source_ == nullptr) return false;
+  Coflow c;
+  if (!source_->Next(c)) return false;
+  SUNFLOW_CHECK_MSG(c.arrival() >= last_pulled_arrival_,
+                    "streamed source is not arrival-ordered (run extsort)");
+  last_pulled_arrival_ = c.arrival();
+  window_.push_back(std::move(c));
+  state_.PushRelease(window_.back().arrival(), &window_.back());
+  return true;
 }
 
 void ReplayDriver::Harvest(ScenarioPolicy& scenario, Time now) {
@@ -103,9 +140,30 @@ void ReplayDriver::Harvest(ScenarioPolicy& scenario, Time now) {
       // (last_finish); the circuit planner's dust semantics finish at the
       // span end.
       const Time finish = it->last_finish > 0 ? it->last_finish : now;
-      result.cct[it->id] = finish - it->arrival;
-      result.completion[it->id] = finish;
-      result.max_service_gap[it->id] = it->max_gap;
+      if (completion_sink_) {
+        // Out-of-core mode: hand the record off and keep the per-coflow
+        // maps empty. The reservations entry NoteReplan accumulated is
+        // drained here too — it is the one map that would otherwise grow
+        // with the trace.
+        CompletionRecord rec;
+        rec.id = it->id;
+        rec.arrival = it->arrival;
+        rec.finish = finish;
+        rec.cct = finish - it->arrival;
+        rec.max_service_gap = it->max_gap;
+        if (auto rit = result.reservations.find(it->id);
+            rit != result.reservations.end()) {
+          rec.reservations = rit->second;
+          result.reservations.erase(rit);
+        }
+        completion_sink_(rec);
+      } else {
+        result.cct[it->id] = finish - it->arrival;
+        result.completion[it->id] = finish;
+        result.max_service_gap[it->id] = it->max_gap;
+      }
+      ++result.completed;
+      result.cct_sum += finish - it->arrival;
       result.makespan = std::max(result.makespan, finish);
       obs::Emit(state_.sink(), {.type = obs::EventType::kCoflowCompleted,
                                 .t = finish,
@@ -269,6 +327,19 @@ void ReplayDriver::EmitBlockedSpans(const SunflowSchedule& plan, Time t,
   }
 }
 
+EngineResult ReplayDriver::RunStream(ScenarioPolicy& scenario,
+                                     CoflowSource& source) {
+  SUNFLOW_CHECK_MSG(state_.num_ports() == source.num_ports(),
+                    "source fabric size differs from the driver's");
+  SUNFLOW_CHECK_MSG(!state_.HasPendingReleases(),
+                    "RunStream on a driver with pre-seeded releases");
+  source_ = &source;
+  // Prime the release queue so Run's loop condition and NextReleaseTime
+  // see the first arrival; AdmitDue keeps the queue topped up after that.
+  PullOne();
+  return Run(scenario);
+}
+
 EngineResult RunScenarioReplay(const Trace& trace, ScenarioPolicy& scenario,
                                obs::TraceSink* sink,
                                obs::TimelineSampler* timeline) {
@@ -278,6 +349,15 @@ EngineResult RunScenarioReplay(const Trace& trace, ScenarioPolicy& scenario,
   for (const Coflow& c : trace.coflows) seed.emplace_back(c.arrival(), &c);
   driver.state().PushReleaseBatch(seed);
   return driver.Run(scenario);
+}
+
+EngineResult RunScenarioStream(CoflowSource& source, ScenarioPolicy& scenario,
+                               obs::TraceSink* sink,
+                               obs::TimelineSampler* timeline,
+                               CompletionSink completion_sink) {
+  ReplayDriver driver(source.num_ports(), sink, timeline);
+  if (completion_sink) driver.set_completion_sink(std::move(completion_sink));
+  return driver.RunStream(scenario, source);
 }
 
 }  // namespace sunflow::engine

@@ -14,13 +14,35 @@
 //      r ≤ t + kTimeEps, matching every other kTimeEps comparison.
 #pragma once
 
+#include <deque>
+#include <functional>
+
 #include "core/sunflow.h"
 #include "obs/event.h"
 #include "obs/timeline.h"
 #include "sim/engine/scenario.h"
 #include "sim/engine/state.h"
+#include "trace/source.h"
 
 namespace sunflow::engine {
+
+/// One completed coflow, as delivered to a CompletionSink: everything the
+/// per-coflow result maps would have recorded.
+struct CompletionRecord {
+  CoflowId id = -1;
+  Time arrival = 0;
+  Time finish = 0;
+  Time cct = 0;
+  Time max_service_gap = 0;
+  /// Total circuit reservations issued for this coflow (planning
+  /// scenarios; 0 otherwise).
+  int reservations = 0;
+};
+
+/// Out-of-core results: with a sink installed, the driver streams each
+/// completion out instead of growing EngineResult's per-coflow maps, so
+/// replay memory is bounded by the *active* set, not the trace length.
+using CompletionSink = std::function<void(const CompletionRecord&)>;
 
 class ReplayDriver {
  public:
@@ -36,6 +58,22 @@ class ReplayDriver {
   /// active set is empty, admit due releases, let the scenario execute one
   /// span, harvest completions at the span end. Consumes the driver.
   EngineResult Run(ScenarioPolicy& scenario);
+
+  /// Streaming replay: instead of pre-seeded releases, admission pulls
+  /// arrivals lazily from `source` (which must yield coflows in
+  /// (arrival, id) order — a sorted stream file or TraceCoflowSource).
+  /// At most one undelivered arrival is held at a time, so driver memory
+  /// is O(active set), and the (time, seq) pop order — hence every
+  /// scheduling decision — is byte-identical to the pre-seeded path.
+  /// Dependency-gated scenarios (completion hooks pushing new releases)
+  /// are not supported with a source. Consumes the driver.
+  EngineResult RunStream(ScenarioPolicy& scenario, CoflowSource& source);
+
+  /// Streams completions out instead of accumulating them (see
+  /// CompletionSink). Install before Run/RunStream.
+  void set_completion_sink(CompletionSink sink) {
+    completion_sink_ = std::move(sink);
+  }
 
   // --- Emission helpers (scenarios call these; they never emit directly,
   // so every scenario shares identical event + metrics semantics). -------
@@ -73,7 +111,12 @@ class ReplayDriver {
 
  private:
   void AdmitDue(ScenarioPolicy& scenario, Time t);
+  void AdmitOne(ScenarioPolicy& scenario,
+                const EventQueue<const Coflow*>::Entry& entry, Time t);
   void Harvest(ScenarioPolicy& scenario, Time now);
+  /// Pulls the next coflow off source_ into the window and pushes its
+  /// release; false when the source is exhausted (or absent).
+  bool PullOne();
   /// Feeds the executed portion of `plan` ([t, t_next) clips) plus the
   /// active/blocked gauges into the timeline sampler.
   void SampleExecutedPlan(const SunflowSchedule& plan, Time t, Time t_next);
@@ -87,6 +130,14 @@ class ReplayDriver {
   std::vector<EventQueue<const Coflow*>::Entry> due_;
   /// Reusable clipped-circuit buffer for SampleExecutedPlan.
   std::vector<obs::TimelineCircuitUse> circuit_uses_;
+  /// Streaming mode (RunStream): the pull source and the FIFO of pulled
+  /// but not-yet-admitted coflows the release queue points into. The
+  /// invariant "releases non-empty unless source_ is dry" keeps
+  /// NextReleaseTime()/AdmitDue oblivious to the laziness.
+  CoflowSource* source_ = nullptr;
+  std::deque<Coflow> window_;
+  Time last_pulled_arrival_ = 0;
+  CompletionSink completion_sink_;
 };
 
 /// Front door: seeds one release per trace coflow at its arrival and runs
@@ -95,5 +146,15 @@ class ReplayDriver {
 EngineResult RunScenarioReplay(const Trace& trace, ScenarioPolicy& scenario,
                                obs::TraceSink* sink,
                                obs::TimelineSampler* timeline = nullptr);
+
+/// Streaming front door: pulls arrivals from `source` (arrival-ordered)
+/// and — when `completion_sink` is given — streams completions out, so
+/// the whole replay holds O(active coflows) regardless of trace length.
+/// Scheduling output is byte-identical to RunScenarioReplay on the same
+/// coflow sequence.
+EngineResult RunScenarioStream(CoflowSource& source, ScenarioPolicy& scenario,
+                               obs::TraceSink* sink,
+                               obs::TimelineSampler* timeline = nullptr,
+                               CompletionSink completion_sink = nullptr);
 
 }  // namespace sunflow::engine

@@ -6,6 +6,7 @@
 // RotorCoflow); scenarios use the fields they need and ignore the rest.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <utility>
 #include <vector>
@@ -75,6 +76,12 @@ struct EngineResult {
   std::map<CoflowId, Time> max_service_gap;
   Time makespan = 0;
   std::size_t replans = 0;
+  /// Streaming-replay aggregates: with a completion sink installed the
+  /// per-coflow maps above stay empty (O(active) memory) and these carry
+  /// the whole-run totals instead. Without a sink, completed mirrors
+  /// cct.size() and cct_sum its sum.
+  std::uint64_t completed = 0;
+  double cct_sum = 0;
   /// Hybrid split accounting (the "hybrid" scenario only).
   std::size_t offloaded = 0;
   std::size_t circuit = 0;

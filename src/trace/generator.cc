@@ -20,12 +20,11 @@ int DrawWidth(Rng& rng, const SyntheticTraceConfig& cfg) {
 
 }  // namespace
 
-Trace GenerateSyntheticTrace(const SyntheticTraceConfig& cfg) {
+void GenerateSyntheticTrace(const SyntheticTraceConfig& cfg,
+                            const std::function<void(Coflow&&)>& sink) {
   SUNFLOW_CHECK(cfg.num_ports >= 2);
   SUNFLOW_CHECK(cfg.num_coflows >= 0);
   Rng rng(cfg.seed);
-  Trace trace;
-  trace.num_ports = cfg.num_ports;
 
   const double frac_m2m = 1.0 - cfg.frac_one_to_one - cfg.frac_one_to_many -
                           cfg.frac_many_to_one;
@@ -39,7 +38,8 @@ Trace GenerateSyntheticTrace(const SyntheticTraceConfig& cfg) {
 
   Time arrival = 0;
   for (int k = 0; k < cfg.num_coflows; ++k) {
-    arrival += rng.Exponential(gap_mean);
+    arrival = cfg.iid_arrivals ? rng.Uniform(0, cfg.horizon)
+                               : arrival + rng.Exponential(gap_mean);
     const auto category = static_cast<CoflowCategory>(rng.Categorical(mix));
 
     int senders = 1, receivers = 1;
@@ -83,8 +83,22 @@ Trace GenerateSyntheticTrace(const SyntheticTraceConfig& cfg) {
         }
       }
     }
-    trace.coflows.emplace_back(static_cast<CoflowId>(k + 1), arrival,
-                               std::move(flows));
+    sink(Coflow(static_cast<CoflowId>(k + 1), arrival, std::move(flows)));
+  }
+}
+
+Trace GenerateSyntheticTrace(const SyntheticTraceConfig& cfg) {
+  Trace trace;
+  trace.num_ports = cfg.num_ports;
+  trace.coflows.reserve(static_cast<std::size_t>(cfg.num_coflows));
+  GenerateSyntheticTrace(
+      cfg, [&](Coflow&& c) { trace.coflows.push_back(std::move(c)); });
+  if (cfg.iid_arrivals) {
+    std::stable_sort(trace.coflows.begin(), trace.coflows.end(),
+                     [](const Coflow& a, const Coflow& b) {
+                       return a.arrival() < b.arrival() ||
+                              (a.arrival() == b.arrival() && a.id() < b.id());
+                     });
   }
   trace.Validate();
   return trace;

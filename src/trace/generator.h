@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "common/rng.h"
 #include "trace/coflow.h"
@@ -49,11 +50,26 @@ struct SyntheticTraceConfig {
   double m2m_flow_mb_scale = 3.0;         ///< Pareto scale (MB, per mapper)
   double m2m_flow_mb_shape = 1.15;        ///< Pareto shape (heavy tail)
   double m2m_flow_mb_cap = 2048.0;        ///< per-flow cap (MB)
+
+  /// Draw arrivals i.i.d. Uniform(0, horizon) instead of cumulative
+  /// Poisson gaps. The *streamed* emission order is then generation
+  /// order, NOT arrival order — the input shape the external sorter
+  /// (trace/extsort.h) exists for. The whole-trace overload sorts before
+  /// validating, so its result is still a valid Trace.
+  bool iid_arrivals = false;
 };
 
 /// Generates a trace: Poisson arrivals over the horizon, category-labelled
 /// coflows, MB-rounded flow sizes with a 1 MB floor. Deterministic per seed.
 Trace GenerateSyntheticTrace(const SyntheticTraceConfig& config);
+
+/// Streaming variant: emits each generated coflow to `sink` and never
+/// materializes the trace — generation memory is O(one coflow), so
+/// million-coflow traces generate straight to disk (wire the sink to a
+/// TraceWriter). Identical coflow sequence to the whole-trace overload
+/// (same seed ⇒ same draws, pre-sort).
+void GenerateSyntheticTrace(const SyntheticTraceConfig& config,
+                            const std::function<void(Coflow&&)>& sink);
 
 /// §5.1: adds ±fraction perturbation to each flow size, re-floors at
 /// min_bytes, keeps structure. Deterministic per seed.

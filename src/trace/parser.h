@@ -20,14 +20,23 @@
 namespace sunflow {
 
 /// Parses a trace from a stream. Throws std::runtime_error on malformed
-/// input (with the offending line number).
-Trace ParseCoflowBenchmark(std::istream& in);
+/// input; the message carries `source` (e.g. the file path) and the
+/// offending line number.
+Trace ParseCoflowBenchmark(std::istream& in,
+                           const std::string& source = "<stream>");
 
-/// Parses a trace file from disk.
+/// Parses a trace file from disk. Parse errors name the file path.
 Trace ParseCoflowBenchmarkFile(const std::string& path);
 
 /// Serializes a trace back into the benchmark format (bytes rounded to MB).
 /// Round-trips with ParseCoflowBenchmark for MB-granular traces.
 void WriteCoflowBenchmark(std::ostream& out, const Trace& trace);
+
+/// The per-coflow pieces of WriteCoflowBenchmark, for streaming
+/// converters that never hold the whole trace: write the header line
+/// once, then one line per coflow in arrival order.
+void WriteCoflowBenchmarkHeader(std::ostream& out, PortId num_ports,
+                                std::uint64_t num_coflows);
+void WriteCoflowBenchmarkLine(std::ostream& out, const Coflow& coflow);
 
 }  // namespace sunflow

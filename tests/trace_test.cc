@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/assert.h"
@@ -357,6 +359,85 @@ TEST(TraceValidate, CatchesPortOverflow) {
   trace.num_ports = 2;
   trace.coflows.push_back(Coflow(1, 0, {{0, 5, MB(1)}}));
   EXPECT_THROW(trace.Validate(), CheckFailure);
+}
+
+TEST(TraceValidate, CatchesUnsortedArrivals) {
+  Trace trace;
+  trace.num_ports = 4;
+  trace.coflows.push_back(Coflow(1, 5.0, {{0, 1, MB(1)}}));
+  trace.coflows.push_back(Coflow(2, 1.0, {{2, 3, MB(1)}}));
+  EXPECT_THROW(trace.Validate(), CheckFailure);
+}
+
+TEST(TraceValidate, CatchesNegativeArrival) {
+  Trace trace;
+  trace.num_ports = 4;
+  trace.coflows.push_back(Coflow(1, -0.5, {{0, 1, MB(1)}}));
+  EXPECT_THROW(trace.Validate(), CheckFailure);
+}
+
+TEST(Parser, RejectsNegativeReducerSize) {
+  std::istringstream in(
+      "4 1\n"
+      "1 0 1 1 1 2:-5\n");
+  EXPECT_THROW(ParseCoflowBenchmark(in), std::runtime_error);
+}
+
+TEST(Parser, RejectsDuplicateCoflowIds) {
+  std::istringstream in(
+      "4 2\n"
+      "7 0 1 1 1 2:1\n"
+      "7 100 1 3 1 4:1\n");
+  try {
+    ParseCoflowBenchmark(in);
+    FAIL() << "duplicate id must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate coflow id 7"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Parser, RejectsTruncatedLine) {
+  // Reducer count promises two tokens; the line ends after one.
+  std::istringstream in(
+      "4 1\n"
+      "1 0 1 1 2 2:1\n");
+  try {
+    ParseCoflowBenchmark(in);
+    FAIL() << "truncated line must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("missing reducer token"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Parser, ErrorsNameSourceAndLine) {
+  std::istringstream in(
+      "4 1\n"
+      "1 0 1 1 1 2:0\n");
+  try {
+    ParseCoflowBenchmark(in, "fb-trace.txt");
+    FAIL() << "zero-size reducer must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fb-trace.txt"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
+TEST(Parser, FileErrorsNameThePath) {
+  const std::string path = testing::TempDir() + "/malformed_trace.txt";
+  std::ofstream(path) << "4 1\n1 0 1 99 1 2:1\n";  // mapper rack beyond fabric
+  try {
+    ParseCoflowBenchmarkFile(path);
+    FAIL() << "bad mapper rack must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "parse error should carry the file path: " << e.what();
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
